@@ -1,0 +1,235 @@
+(* Command-line interface to the HSP solvers.
+
+     hsp solve-simon --n 8 --mask 10110010
+     hsp solve-dihedral --n 24 --d 4
+     hsp solve-heisenberg --p 5
+     hsp solve-wreath --k 3
+     hsp solve-semidirect --n 4 --m 4
+     hsp factor 221
+     hsp dlog --p 101 --g 2 --h 55
+     hsp order --modulus 77 --base 2
+
+   Every command prints the answer, the oracle-query accounting, and a
+   correctness check against the planted ground truth. *)
+
+open Groups
+open Hsp
+open Cmdliner
+
+let rng_of_seed seed = Random.State.make [| seed |]
+
+let seed_arg =
+  let doc = "PRNG seed (all algorithms are Las Vegas; the answer is always verified)." in
+  Arg.(value & opt int 2026 & info [ "seed" ] ~doc)
+
+let report inst gens =
+  let ok = Group.subgroup_equal inst.Instances.group gens inst.Instances.hidden_gens in
+  let c, q = Hiding.total_queries inst.Instances.hiding in
+  Printf.printf "group order     : %d\n" (Group.order inst.Instances.group);
+  Printf.printf "subgroup order  : %d\n"
+    (List.length (Group.closure inst.Instances.group inst.Instances.hidden_gens));
+  Printf.printf "quantum queries : %d\n" q;
+  Printf.printf "classical queries: %d\n" c;
+  Printf.printf "correct         : %b\n" ok;
+  if ok then 0 else 1
+
+let simon_cmd =
+  let n_arg =
+    Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of bits (group is Z_2^n).")
+  in
+  let mask_arg =
+    Arg.(value & opt string "101010" & info [ "mask" ] ~doc:"Secret bit mask, e.g. 10110.")
+  in
+  let run seed n mask =
+    let rng = rng_of_seed seed in
+    let mask_bits =
+      Array.init (String.length mask) (fun i -> Char.code mask.[i] - Char.code '0')
+    in
+    let n = if String.length mask = n then n else String.length mask in
+    Printf.printf "Simon's problem on Z_2^%d, mask %s\n" n mask;
+    let inst = Instances.simon ~n ~mask:mask_bits in
+    let gens = Abelian_hsp.solve rng inst.Instances.group inst.Instances.hiding in
+    List.iter
+      (fun g ->
+        Printf.printf "generator: %s\n"
+          (String.concat "" (List.map string_of_int (Array.to_list g))))
+      gens;
+    report inst gens
+  in
+  Cmd.v
+    (Cmd.info "solve-simon" ~doc:"Solve Simon's problem (Abelian HSP on Z_2^n).")
+    Term.(const run $ seed_arg $ n_arg $ mask_arg)
+
+let dihedral_cmd =
+  let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"D_n: the n-gon.") in
+  let d_arg =
+    Arg.(value & opt int 4 & info [ "d" ] ~doc:"Hidden normal rotation subgroup <s^d>; d | n.")
+  in
+  let run seed n d =
+    let rng = rng_of_seed seed in
+    Printf.printf "Hidden normal subgroup <s^%d> of D_%d (Theorem 8)\n" d n;
+    let inst = Instances.dihedral_rotation ~n ~d in
+    let res = Normal_hsp.solve rng inst.Instances.group inst.Instances.hiding in
+    Printf.printf "factor group order: %d\n" res.Normal_hsp.quotient_order;
+    report inst res.Normal_hsp.generators
+  in
+  Cmd.v
+    (Cmd.info "solve-dihedral" ~doc:"Find a hidden normal rotation subgroup of D_n (Theorem 8).")
+    Term.(const run $ seed_arg $ n_arg $ d_arg)
+
+let heisenberg_cmd =
+  let p_arg = Arg.(value & opt int 3 & info [ "p" ] ~doc:"Prime p; the group is H_p, order p^3.") in
+  let run seed p =
+    let rng = rng_of_seed seed in
+    Printf.printf "HSP in the extra-special group H_%d (Theorem 11 / Corollary 12)\n" p;
+    let inst = Instances.heisenberg_random rng ~p ~m:1 in
+    let res = Small_commutator.solve rng inst.Instances.group inst.Instances.hiding in
+    Printf.printf "|G'| = %d\n" res.Small_commutator.commutator_order;
+    report inst res.Small_commutator.generators
+  in
+  Cmd.v
+    (Cmd.info "solve-heisenberg" ~doc:"Solve a random HSP instance in an extra-special p-group.")
+    Term.(const run $ seed_arg $ p_arg)
+
+let wreath_cmd =
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"The group is Z_2^k wr Z_2.") in
+  let run seed k =
+    let rng = rng_of_seed seed in
+    Printf.printf "HSP in Z_2^%d wr Z_2 (Theorem 13, general case)\n" k;
+    let inst = Instances.wreath_random rng ~k in
+    let res =
+      Elem_abelian2.solve_general rng inst.Instances.group ~n_gens:(Wreath.base_gens k)
+        inst.Instances.hiding
+    in
+    Printf.printf "transversal size: %d\n" res.Elem_abelian2.transversal_size;
+    report inst res.Elem_abelian2.generators
+  in
+  Cmd.v
+    (Cmd.info "solve-wreath" ~doc:"Solve a random HSP instance in a wreath product (Theorem 13).")
+    Term.(const run $ seed_arg $ k_arg)
+
+let semidirect_cmd =
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Base Z_2^n.") in
+  let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Cyclic top Z_m; m | n.") in
+  let run seed n m =
+    let rng = rng_of_seed seed in
+    Printf.printf "HSP in Z_2^%d x| Z_%d (Theorem 13, cyclic factor)\n" n m;
+    let inst = Instances.semidirect_random rng ~n ~m in
+    let res =
+      Elem_abelian2.solve_cyclic rng inst.Instances.group ~n_gens:(Semidirect.base_gens ~n)
+        inst.Instances.hiding
+    in
+    Printf.printf "transversal size: %d (|G/N| = %d)\n" res.Elem_abelian2.transversal_size
+      res.Elem_abelian2.quotient_order;
+    report inst res.Elem_abelian2.generators
+  in
+  Cmd.v
+    (Cmd.info "solve-semidirect"
+       ~doc:"Solve a random HSP instance in Z_2^n x| Z_m (Theorem 13, polynomial case).")
+    Term.(const run $ seed_arg $ n_arg $ m_arg)
+
+let dicyclic_cmd =
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"The group is Q_4n.") in
+  let run seed n =
+    let rng = rng_of_seed seed in
+    Printf.printf "HSP in the dicyclic group Q_%d (Theorem 11; |G'| = %d)\n" (4 * n) n;
+    let inst = Instances.dicyclic_random rng ~n in
+    let res = Small_commutator.solve rng inst.Instances.group inst.Instances.hiding in
+    report inst res.Small_commutator.generators
+  in
+  Cmd.v
+    (Cmd.info "solve-dicyclic" ~doc:"Solve a random HSP instance in a dicyclic group (Theorem 11).")
+    Term.(const run $ seed_arg $ n_arg)
+
+let frobenius_cmd =
+  let p_arg = Arg.(value & opt int 7 & info [ "p" ] ~doc:"Prime base Z_p.") in
+  let q_arg = Arg.(value & opt int 3 & info [ "q" ] ~doc:"Prime top Z_q; q | p-1.") in
+  let run seed p q =
+    let rng = rng_of_seed seed in
+    Printf.printf "Hidden translation subgroup of the Frobenius group Z_%d x| Z_%d (Theorem 8)\n"
+      p q;
+    let inst = Instances.frobenius_translations ~p ~q in
+    let res = Normal_hsp.solve rng inst.Instances.group inst.Instances.hiding in
+    Printf.printf "factor group order: %d\n" res.Normal_hsp.quotient_order;
+    report inst res.Normal_hsp.generators
+  in
+  Cmd.v
+    (Cmd.info "solve-frobenius"
+       ~doc:"Find the hidden normal translation subgroup of a Frobenius group (Theorem 8).")
+    Term.(const run $ seed_arg $ p_arg $ q_arg)
+
+let factor_cmd =
+  let n_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let run seed n =
+    let rng = rng_of_seed seed in
+    match Quantum.Shor.factor rng n with
+    | Some (a, b) ->
+        Printf.printf "%d = %d * %d\n" n a b;
+        0
+    | None ->
+        Printf.printf "attempts exhausted\n";
+        1
+    | exception Invalid_argument msg ->
+        Printf.printf "error: %s\n" msg;
+        2
+  in
+  Cmd.v
+    (Cmd.info "factor" ~doc:"Factor an integer with simulated Shor order finding.")
+    Term.(const run $ seed_arg $ n_arg)
+
+let dlog_cmd =
+  let p_arg = Arg.(value & opt int 101 & info [ "p" ] ~doc:"Prime modulus.") in
+  let g_arg = Arg.(value & opt int 2 & info [ "g" ] ~doc:"Base.") in
+  let h_arg = Arg.(value & opt int 55 & info [ "target" ] ~doc:"Target element h.") in
+  let run seed p g h =
+    let rng = rng_of_seed seed in
+    match Dlog.discrete_log rng ~p ~g ~h with
+    | Some l ->
+        Printf.printf "log_%d(%d) mod %d = %d\n" g h p l;
+        0
+    | None ->
+        Printf.printf "%d is not in <%d> mod %d\n" h g p;
+        1
+  in
+  Cmd.v
+    (Cmd.info "dlog" ~doc:"Discrete logarithm in Z_p^* via Abelian Fourier sampling.")
+    Term.(const run $ seed_arg $ p_arg $ g_arg $ h_arg)
+
+let order_cmd =
+  let modulus_arg = Arg.(value & opt int 77 & info [ "modulus" ] ~doc:"Modulus N.") in
+  let base_arg = Arg.(value & opt int 2 & info [ "base" ] ~doc:"Element of Z_N^*.") in
+  let run seed modulus base =
+    let rng = rng_of_seed seed in
+    let queries = Quantum.Query.create () in
+    match
+      Quantum.Shor.find_order rng
+        ~pow:(fun k -> Numtheory.Arith.powmod base k modulus)
+        ~order_bound:modulus ~queries
+    with
+    | Some o ->
+        Printf.printf "ord(%d mod %d) = %d  (%d quantum queries)\n" base modulus o
+          (Quantum.Query.count queries);
+        0
+    | None ->
+        Printf.printf "did not converge\n";
+        1
+  in
+  Cmd.v
+    (Cmd.info "order" ~doc:"Multiplicative order via simulated Shor period finding.")
+    Term.(const run $ seed_arg $ modulus_arg $ base_arg)
+
+let () =
+  (* HSP_DEBUG=1 turns on solver-internal debug logging *)
+  if Sys.getenv_opt "HSP_DEBUG" <> None then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.Src.set_level Hsp.Log.src (Some Logs.Debug)
+  end;
+  let doc = "Quantum algorithms for non-Abelian hidden subgroup problems (simulated)." in
+  let info = Cmd.info "hsp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            simon_cmd; dihedral_cmd; heisenberg_cmd; wreath_cmd; semidirect_cmd;
+            dicyclic_cmd; frobenius_cmd; factor_cmd; dlog_cmd; order_cmd;
+          ]))

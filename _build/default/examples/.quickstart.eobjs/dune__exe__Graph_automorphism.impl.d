@@ -1,0 +1,1 @@
+examples/graph_automorphism.ml: Array Classical Group Groups Hashtbl Hiding Hsp List Perm Printf Random Small_commutator String

@@ -1,0 +1,1 @@
+examples/heisenberg.ml: Array Extraspecial Group Groups Hiding Hsp Instances List Printf Random Small_commutator String

@@ -1,0 +1,1 @@
+examples/hidden_symmetry.ml: Dihedral Group Groups Hiding Hsp Instances List Normal_hsp Perm Printf Random String

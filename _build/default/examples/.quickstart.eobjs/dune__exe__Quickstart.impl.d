@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abelian_hsp Array Group Groups Hiding Hsp Instances List Printf Random String

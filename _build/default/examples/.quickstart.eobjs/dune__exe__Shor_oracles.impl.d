@@ -1,0 +1,1 @@
+examples/shor_oracles.ml: Array Cyclic Dihedral Dlog Groups Hsp List Membership Numtheory Order_finding Printf Quantum Random

@@ -1,0 +1,1 @@
+examples/wreath_products.ml: Elem_abelian2 Group Groups Hiding Hsp Instances Matrix_group Printf Random Roetteler_beth Semidirect Wreath

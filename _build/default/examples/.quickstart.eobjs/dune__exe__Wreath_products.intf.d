@@ -1,0 +1,1 @@
+examples/wreath_products.mli:

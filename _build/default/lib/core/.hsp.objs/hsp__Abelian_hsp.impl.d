@@ -1,0 +1,1 @@
+lib/core/abelian_hsp.ml: Abelian Array Group Groups Hiding List Log Numtheory Quantum

@@ -1,0 +1,1 @@
+lib/core/abelian_hsp.mli: Group Groups Hiding Quantum Random

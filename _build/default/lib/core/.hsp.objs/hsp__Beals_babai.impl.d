@@ -1,0 +1,1 @@
+lib/core/beals_babai.ml: Group Groups Lazy Order_finding Presentation Quantum Quotient

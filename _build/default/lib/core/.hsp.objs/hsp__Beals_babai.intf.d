@@ -1,0 +1,1 @@
+lib/core/beals_babai.mli: Group Groups Hiding Presentation Random Word

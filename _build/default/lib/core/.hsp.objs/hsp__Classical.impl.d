@@ -1,0 +1,1 @@
+lib/core/classical.ml: Group Groups Hiding List Normal_hsp

@@ -1,0 +1,1 @@
+lib/core/dlog.ml: Abelian_hsp Arith Array Group Groups Hashtbl List Numtheory Primes Printf Quantum

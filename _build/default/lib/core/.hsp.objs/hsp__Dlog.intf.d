@@ -1,0 +1,1 @@
+lib/core/dlog.mli: Groups Random

@@ -1,0 +1,1 @@
+lib/core/elem_abelian2.ml: Abelian Abelian_hsp Array Group Groups Hashtbl Hiding List Log Normal_hsp Numtheory Order_finding

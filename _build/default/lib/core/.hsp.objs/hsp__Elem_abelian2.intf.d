@@ -1,0 +1,1 @@
+lib/core/elem_abelian2.mli: Group Groups Hiding Random

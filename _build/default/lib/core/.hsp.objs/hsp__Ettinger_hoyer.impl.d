@@ -1,0 +1,1 @@
+lib/core/ettinger_hoyer.ml: Array Dihedral Float Fun Group Groups Hiding List Numtheory Quantum

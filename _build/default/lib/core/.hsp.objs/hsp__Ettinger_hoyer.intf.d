@@ -1,0 +1,1 @@
+lib/core/ettinger_hoyer.mli: Dihedral Groups Hiding Random

@@ -1,0 +1,1 @@
+lib/core/hiding.ml: Group Groups Hashtbl List Quantum

@@ -1,0 +1,1 @@
+lib/core/hiding.mli: Group Groups Quantum

@@ -1,0 +1,1 @@
+lib/core/instances.ml: Array Cyclic Dicyclic Dihedral Extraspecial Group Groups Hiding Metacyclic Perm Printf Semidirect Wreath

@@ -1,0 +1,1 @@
+lib/core/instances.mli: Cyclic Dicyclic Dihedral Extraspecial Group Groups Hiding Metacyclic Perm Random Semidirect Wreath

@@ -1,0 +1,1 @@
+lib/core/membership.ml: Abelian_hsp Arith Array Group Groups Hashtbl List Numtheory Order_finding

@@ -1,0 +1,1 @@
+lib/core/membership.mli: Group Groups Quantum Random

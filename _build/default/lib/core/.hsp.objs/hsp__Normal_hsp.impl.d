@@ -1,0 +1,1 @@
+lib/core/normal_hsp.ml: Group Groups Hiding List Log Presentation Quotient Word

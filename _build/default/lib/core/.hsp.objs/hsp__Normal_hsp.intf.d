@@ -1,0 +1,1 @@
+lib/core/normal_hsp.mli: Group Groups Hiding Random

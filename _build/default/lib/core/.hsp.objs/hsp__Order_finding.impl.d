@@ -1,0 +1,1 @@
+lib/core/order_finding.ml: Array Group Groups Hashtbl Hiding Linalg List Numtheory Quantum

@@ -1,0 +1,1 @@
+lib/core/order_finding.mli: Group Groups Hiding Quantum Random

@@ -1,0 +1,1 @@
+lib/core/quotient.ml: Group Groups Hiding

@@ -1,0 +1,1 @@
+lib/core/quotient.mli: Group Groups Hiding

@@ -1,0 +1,1 @@
+lib/core/roetteler_beth.ml: Abelian Abelian_hsp Array Group Groups Hiding List Normal_hsp Wreath

@@ -1,0 +1,1 @@
+lib/core/roetteler_beth.mli: Groups Hiding Random Wreath

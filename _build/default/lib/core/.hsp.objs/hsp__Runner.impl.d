@@ -1,0 +1,1 @@
+lib/core/runner.ml: Format Group Groups Hiding Instances List Sys

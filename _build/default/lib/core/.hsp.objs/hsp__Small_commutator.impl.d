@@ -1,0 +1,1 @@
+lib/core/small_commutator.ml: Abelian_hsp Group Groups Hashtbl Hiding List Log Normal_hsp String

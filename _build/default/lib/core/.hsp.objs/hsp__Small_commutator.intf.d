@@ -1,0 +1,1 @@
+lib/core/small_commutator.mli: Group Groups Hiding Random

@@ -1,0 +1,56 @@
+open Groups
+
+type outcome = { rounds : int; characters : int array list }
+
+let solve_dims rng ~dims ~f ~quantum ?verify () =
+  let verify =
+    match verify with Some v -> v | None -> fun x -> f x = f (Array.make (Array.length dims) 0)
+  in
+  (* log2 |A| + slack samples per batch: each sample halves the kernel
+     in expectation, so one batch almost always suffices. *)
+  let batch =
+    Array.fold_left (fun acc d -> acc + Numtheory.Arith.ilog2 (max 2 d) + 1) 4 dims
+  in
+  let max_batches = 32 in
+  let draw = Quantum.Coset_state.sampler ~dims ~f ~queries:quantum in
+  let rec go batches samples =
+    if batches > max_batches then
+      invalid_arg "Abelian_hsp.solve_dims: sampling failed to converge (is f a hiding function?)";
+    let fresh = List.init batch (fun _ -> draw rng) in
+    let samples = samples @ fresh in
+    let gens = Quantum.Coset_state.annihilator_subgroup ~dims samples in
+    if List.for_all verify gens then begin
+      Log.debug (fun m ->
+          m "abelian HSP solved: %d samples, %d generators" (List.length samples)
+            (List.length gens));
+      (gens, { rounds = batches * batch; characters = samples })
+    end
+    else begin
+      Log.debug (fun m ->
+          m "abelian HSP batch %d failed verification; resampling" batches);
+      go (batches + 1) samples
+    end
+  in
+  go 1 []
+
+let solve rng (g : 'a Group.t) (hiding : 'a Hiding.t) =
+  let dec = Abelian.decompose g in
+  let dims = dec.Abelian.dims in
+  if Array.length dims = 0 then []
+  else begin
+    let f tuple = hiding.Hiding.raw (dec.Abelian.of_exponents tuple) in
+    let verify tuple = Hiding.in_hidden_subgroup g hiding (dec.Abelian.of_exponents tuple) in
+    let gens, _ = solve_dims rng ~dims ~f ~quantum:hiding.Hiding.quantum ~verify () in
+    List.map dec.Abelian.of_exponents gens
+  end
+
+let solve_on_subgroup rng (g : 'a Group.t) n_gens (hiding : 'a Hiding.t) =
+  let dec = Abelian.decompose_subgroup g n_gens in
+  let dims = dec.Abelian.dims in
+  if Array.length dims = 0 then []
+  else begin
+    let f tuple = hiding.Hiding.raw (dec.Abelian.of_exponents tuple) in
+    let verify tuple = Hiding.in_hidden_subgroup g hiding (dec.Abelian.of_exponents tuple) in
+    let gens, _ = solve_dims rng ~dims ~f ~quantum:hiding.Hiding.quantum ~verify () in
+    List.map dec.Abelian.of_exponents gens
+  end

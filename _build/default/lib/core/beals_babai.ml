@@ -1,0 +1,38 @@
+open Groups
+
+type 'a t = {
+  view : 'a Group.t;  (* the (quotient) black-box view *)
+  order_bound : int lazy_t;
+}
+
+let make view = { view; order_bound = lazy (Group.order view) }
+
+let of_group g = make g
+let of_hidden_quotient g hiding = make (Quotient.group_mod g hiding)
+let of_generated_quotient g n_gens = make (Quotient.group_mod_generated g n_gens)
+
+let group t = t.view
+let order t = Lazy.force t.order_bound
+
+let element_order rng t x =
+  let queries = Quantum.Query.create () in
+  Order_finding.order rng t.view x ~bound:(order t) ~queries
+
+let membership t x =
+  let table = Group.closure_set t.view (Group.elements t.view) in
+  Group.mem t.view table x
+
+let constructive_membership t x =
+  (* The spanning-tree word map of the Cayley graph expresses every
+     element as a word in the generators — the straight-line-program
+     answer of Corollary 5(i), specialised to enumerable groups. *)
+  let _, word_of = Presentation.of_group t.view in
+  match word_of x with
+  | w -> Some w
+  | exception Invalid_argument _ -> None
+
+let presentation t = fst (Presentation.of_group t.view)
+let center t = Group.center t.view
+let composition_series t = Group.composition_series t.view
+let sylow_subgroup t p = Group.sylow_subgroup t.view p
+let nu t = if Group.is_solvable t.view then 1 else order t

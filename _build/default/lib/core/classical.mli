@@ -1,0 +1,22 @@
+open Groups
+
+(** Classical baselines.
+
+    No sub-exponential classical black-box algorithm is known for the
+    HSP; the generic upper bound simply reads the whole group.  These
+    are the comparison points for every experiment's query counts. *)
+
+val brute_force : 'a Group.t -> 'a Hiding.t -> 'a list
+(** [H = { x : f x = f 1 }] by scanning the enumerated group: exactly
+    [|G| + 1] classical queries.  Returns a reduced generating set. *)
+
+val brute_force_order : 'a Group.t -> 'a -> int
+(** Classical element-order computation by iterated multiplication
+    ([O(order)] group operations) — the baseline for Shor order
+    finding. *)
+
+val deterministic_query_lower_bound : int -> int
+(** [|G| / 2]: any classical algorithm distinguishing the trivial
+    subgroup from an order-2 subgroup must see a collision; with
+    fewer than |G|/2 queries in the worst case none occurs.  Used for
+    the bench report only. *)

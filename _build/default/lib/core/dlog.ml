@@ -1,0 +1,57 @@
+open Numtheory
+
+let discrete_log_in_group rng (grp : 'a Groups.Group.t) ~base target ~order =
+  let open Groups in
+  let r = order in
+  (* f(a, b) = base^a * target^b hides K = { (a, b) : base^a target^b = 1 }.
+     If target = base^l then K = <(l, -1)> (+ (r, 0) lattice).  Any
+     kernel element (a, b) with gcd(b, r) = 1 yields l = -a * b^-1. *)
+  let intern : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let tag x =
+    let key = grp.Group.repr x in
+    match Hashtbl.find_opt intern key with
+    | Some k -> k
+    | None ->
+        let k = Hashtbl.length intern in
+        Hashtbl.add intern key k;
+        k
+  in
+  let f (t : int array) =
+    tag (grp.Group.mul (Group.pow grp base t.(0)) (Group.pow grp target t.(1)))
+  in
+  let queries = Quantum.Query.create () in
+  let kernel, _ =
+    Abelian_hsp.solve_dims rng ~dims:[| r; r |] ~f ~quantum:queries ()
+  in
+  (* Fold kernel generators to make the second coordinate a unit. *)
+  let combine v1 v2 =
+    let b1 = v1.(1) and b2 = v2.(1) in
+    if b1 = 0 then v2
+    else if b2 = 0 then v1
+    else begin
+      let _, x, y = Arith.egcd b1 b2 in
+      [| Arith.emod ((x * v1.(0)) + (y * v2.(0))) r; Arith.emod ((x * b1) + (y * b2)) r |]
+    end
+  in
+  let best = List.fold_left combine [| 0; 0 |] kernel in
+  if r > 1 && Arith.gcd best.(1) r <> 1 then None
+  else begin
+    let l =
+      if r = 1 then 0
+      else Arith.emod (-best.(0) * Arith.invmod best.(1) r) r
+    in
+    if grp.Group.equal (Group.pow grp base l) target then Some l else None
+  end
+
+let discrete_log rng ~p ~g ~h =
+  if not (Primes.is_prime p) then invalid_arg "Dlog.discrete_log: p not prime";
+  if g mod p = 0 || h mod p = 0 then invalid_arg "Dlog.discrete_log: not a unit";
+  let r = Arith.multiplicative_order g p in
+  let grp =
+    Groups.Group.make ~name:(Printf.sprintf "Z_%d^*" p)
+      ~mul:(fun a b -> a * b mod p)
+      ~inv:(fun a -> Arith.invmod a p)
+      ~id:1 ~equal:( = ) ~repr:string_of_int
+      ~generators:[ g mod p ]
+  in
+  discrete_log_in_group rng grp ~base:(g mod p) (h mod p) ~order:r

@@ -1,0 +1,5 @@
+(* Shared log source for the HSP solvers.  Enable with
+   Logs.Src.set_level Log.src (Some Debug) and any reporter. *)
+let src = Logs.Src.create "hsp" ~doc:"Hidden subgroup problem solvers"
+
+include (val Logs.src_log src : Logs.LOG)

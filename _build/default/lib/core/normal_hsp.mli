@@ -1,0 +1,38 @@
+open Groups
+
+(** The hidden normal subgroup problem (Theorem 8).
+
+    Given a hiding function [f] for a *normal* subgroup [N] of a
+    black-box group [G], find generators for [N]:
+
+    1. View [G/N] through the secondary encoding [f]
+       ({!Quotient.group_mod}, Theorem 7) and compute a presentation
+       of it on the images of [G]'s generators
+       ({!Groups.Presentation}).
+    2. Substitute [G]'s generators into the relators: the results
+       [R_0] lie in [N].
+    3. The normal closure of [R_0] in [G] is exactly [N] (since the
+       generating set [T] is the image of [G]'s own generators, the
+       paper's correction set [S_0] is empty).
+
+    No non-Abelian Fourier transform is needed anywhere — this is the
+    paper's improvement over Hallgren–Russell–Ta-Shma.  In particular
+    hidden normal subgroups of solvable and permutation groups are
+    found in polynomial time. *)
+
+type 'a result = {
+  relator_images : 'a list;
+      (** [R_0]: relators of [G/N] evaluated on [G]'s generators *)
+  generators : 'a list;
+      (** a reduced generating set for [N] (computed from the normal
+          closure of [R_0]) *)
+  relators_used : int;
+  quotient_order : int;
+}
+
+val solve : Random.State.t -> 'a Group.t -> 'a Hiding.t -> 'a result
+(** Find generators of the hidden normal subgroup. *)
+
+val generating_subset : 'a Group.t -> 'a list -> 'a list
+(** Greedy reduction of an element list to a small generating subset
+    of the subgroup it generates (helper shared by the HSP solvers). *)

@@ -1,0 +1,19 @@
+open Groups
+
+let group_mod (g : 'a Group.t) (hiding : 'a Hiding.t) =
+  {
+    g with
+    Group.name = g.Group.name ^ "/hidden";
+    equal = (fun a b -> Hiding.eval hiding a = Hiding.eval hiding b);
+    repr = (fun a -> string_of_int (Hiding.eval hiding a));
+  }
+
+let group_mod_generated (g : 'a Group.t) n_gens =
+  let n_elems = Group.closure g n_gens in
+  let proj = Group.quotient_map g n_elems in
+  {
+    g with
+    Group.name = g.Group.name ^ "/<gens>";
+    equal = (fun a b -> g.Group.equal (proj a) (proj b));
+    repr = (fun a -> g.Group.repr (proj a));
+  }

@@ -1,0 +1,24 @@
+open Groups
+
+(** Factor groups through secondary encodings (Theorem 7).
+
+    When a normal subgroup [N] of a black-box group [G] is presented
+    only through a hiding function [f], the paper observes that [f]
+    itself is an encoding of [G/N]: elements of the factor group are
+    represented by arbitrary preimages in [G] (a non-unique encoding),
+    multiplication is inherited from [G], and equality is decided by
+    comparing [f]-values.  [group_mod] packages exactly this view, so
+    every generic algorithm over ['a Group.t] — enumeration,
+    presentations, order finding — runs on [G/N] unchanged. *)
+
+val group_mod : 'a Group.t -> 'a Hiding.t -> 'a Group.t
+(** [group_mod g f]: the factor group [G/N] in the secondary encoding.
+    Elements are [G]-elements used as coset representatives; [repr]
+    and [equal] go through [f] (each [repr] costs one classical
+    query). *)
+
+val group_mod_generated : 'a Group.t -> 'a list -> 'a Group.t
+(** The factor group [G/N] for [N] given by generators (Theorem 10's
+    setting): coset labels are canonical representatives computed from
+    the generators, standing in for Watrous's coset superpositions
+    [|xN>]. *)

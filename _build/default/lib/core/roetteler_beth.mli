@@ -1,0 +1,16 @@
+open Groups
+
+(** Rötteler–Beth's wreath-product algorithm [24], as subsumed by
+    Theorem 13.
+
+    The paper points out that the wreath products [Z_2^k wr Z_2] —
+    solved by Rötteler and Beth with a bespoke Fourier argument — fall
+    inside its Section 6 class: the base [N = Z_2^k x Z_2^k] is an
+    elementary Abelian normal 2-subgroup with [|G/N| = 2].  This
+    module runs Theorem 13's general solver with the transversal
+    specialised to [{1, swap}], which is exactly the structure
+    Rötteler–Beth exploit; it serves as the prior-work comparison
+    point in the benchmarks. *)
+
+val solve : Random.State.t -> k:int -> Wreath.elt Hiding.t -> Wreath.elt list
+(** Generators of the subgroup hidden in [Z_2^k wr Z_2]. *)

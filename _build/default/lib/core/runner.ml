@@ -1,0 +1,48 @@
+open Groups
+
+type report = {
+  instance : string;
+  algorithm : string;
+  ok : bool;
+  classical_queries : int;
+  quantum_queries : int;
+  seconds : float;
+  group_order : int;
+  subgroup_order : int;
+}
+
+let run ~algorithm (inst : 'a Instances.t) ~solver =
+  Hiding.reset inst.Instances.hiding;
+  let t0 = Sys.time () in
+  let gens = solver inst in
+  let seconds = Sys.time () -. t0 in
+  let classical_queries, quantum_queries = Hiding.total_queries inst.Instances.hiding in
+  let ok = Group.subgroup_equal inst.Instances.group gens inst.Instances.hidden_gens in
+  {
+    instance = inst.Instances.name;
+    algorithm;
+    ok;
+    classical_queries;
+    quantum_queries;
+    seconds;
+    group_order = Group.order inst.Instances.group;
+    subgroup_order = List.length (Group.closure inst.Instances.group inst.Instances.hidden_gens);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-28s %-18s %-5s |G|=%-7d |H|=%-5d q=%-6d c=%-8d %.3fs" r.instance
+    r.algorithm
+    (if r.ok then "ok" else "FAIL")
+    r.group_order r.subgroup_order r.quantum_queries r.classical_queries r.seconds
+
+let pp_table fmt reports =
+  Format.fprintf fmt "@[<v>%-28s %-18s %-5s %-9s %-7s %-8s %-10s %s@,"
+    "instance" "algorithm" "ok" "|G|" "|H|" "quantum" "classical" "seconds";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %-18s %-5s %-9d %-7d %-8d %-10d %.3f@," r.instance
+        r.algorithm
+        (if r.ok then "ok" else "FAIL")
+        r.group_order r.subgroup_order r.quantum_queries r.classical_queries r.seconds)
+    reports;
+  Format.fprintf fmt "@]"

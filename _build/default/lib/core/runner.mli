@@ -1,0 +1,27 @@
+(** Experiment driver: run a solver on an instance, verify the answer
+    against ground truth, and collect query/time accounting. *)
+
+type report = {
+  instance : string;
+  algorithm : string;
+  ok : bool;  (** returned generators generate exactly the hidden subgroup *)
+  classical_queries : int;
+  quantum_queries : int;
+  seconds : float;
+  group_order : int;
+  subgroup_order : int;
+}
+
+val run :
+  algorithm:string ->
+  'a Instances.t ->
+  solver:('a Instances.t -> 'a list) ->
+  report
+(** Resets the instance's counters, times the solver (CPU seconds via
+    [Sys.time]), and checks the result with
+    {!Groups.Group.subgroup_equal}. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_table : Format.formatter -> report list -> unit
+(** Aligned text table, one row per report. *)

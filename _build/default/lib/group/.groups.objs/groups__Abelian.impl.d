@@ -1,0 +1,1 @@
+lib/group/abelian.ml: Array Group Hashtbl List Numtheory

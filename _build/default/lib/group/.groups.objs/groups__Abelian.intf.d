@@ -1,0 +1,1 @@
+lib/group/abelian.mli: Group

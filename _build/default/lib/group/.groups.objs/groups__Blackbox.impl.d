@@ -1,0 +1,1 @@
+lib/group/blackbox.ml: Format Group

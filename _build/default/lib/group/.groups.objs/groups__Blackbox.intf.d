@@ -1,0 +1,1 @@
+lib/group/blackbox.mli: Format Group

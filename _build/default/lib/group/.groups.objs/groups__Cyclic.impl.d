@@ -1,0 +1,1 @@
+lib/group/cyclic.ml: Array Group Hashtbl List Numtheory String

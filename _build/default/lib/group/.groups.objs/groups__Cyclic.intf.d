@@ -1,0 +1,1 @@
+lib/group/cyclic.mli: Group

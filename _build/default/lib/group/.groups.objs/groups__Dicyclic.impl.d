@@ -1,0 +1,1 @@
+lib/group/dicyclic.ml: Group Numtheory Printf

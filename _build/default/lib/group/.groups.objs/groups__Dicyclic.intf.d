@@ -1,0 +1,1 @@
+lib/group/dicyclic.mli: Group

@@ -1,0 +1,1 @@
+lib/group/dihedral.mli: Group

@@ -1,0 +1,1 @@
+lib/group/extraspecial.ml: Arith Array Group List Numtheory Primes Printf String

@@ -1,0 +1,1 @@
+lib/group/extraspecial.mli: Group

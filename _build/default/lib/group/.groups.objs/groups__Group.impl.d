@@ -1,0 +1,1 @@
+lib/group/group.ml: Array Hashtbl List Numtheory Queue Random

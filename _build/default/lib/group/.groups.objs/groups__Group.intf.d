@@ -1,0 +1,1 @@
+lib/group/group.mli: Hashtbl Random

@@ -1,0 +1,1 @@
+lib/group/matrix_group.ml: Arith Array Group List Numtheory Printf String

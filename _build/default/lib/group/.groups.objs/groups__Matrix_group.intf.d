@@ -1,0 +1,1 @@
+lib/group/matrix_group.mli: Group

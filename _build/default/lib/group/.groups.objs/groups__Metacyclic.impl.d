@@ -1,0 +1,1 @@
+lib/group/metacyclic.ml: Arith Array Group Numtheory Primes Printf

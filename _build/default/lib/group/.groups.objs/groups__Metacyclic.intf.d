@@ -1,0 +1,1 @@
+lib/group/metacyclic.mli: Group

@@ -1,0 +1,1 @@
+lib/group/perm.ml: Array Group List Printf String

@@ -1,0 +1,1 @@
+lib/group/perm.mli: Group

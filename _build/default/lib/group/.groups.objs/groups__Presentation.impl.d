@@ -1,0 +1,1 @@
+lib/group/presentation.ml: Array Format Group Hashtbl List Queue Word

@@ -1,0 +1,1 @@
+lib/group/presentation.mli: Format Group Word

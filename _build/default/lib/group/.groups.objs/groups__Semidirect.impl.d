@@ -1,0 +1,1 @@
+lib/group/semidirect.ml: Array Group List Printf String

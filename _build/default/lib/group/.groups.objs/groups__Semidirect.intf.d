@@ -1,0 +1,1 @@
+lib/group/semidirect.mli: Group

@@ -1,0 +1,1 @@
+lib/group/semidirect_perm.ml: Array Group List Perm Printf String

@@ -1,0 +1,1 @@
+lib/group/semidirect_perm.mli: Group Perm

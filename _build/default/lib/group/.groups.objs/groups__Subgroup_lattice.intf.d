@@ -1,0 +1,1 @@
+lib/group/subgroup_lattice.mli: Group

@@ -1,0 +1,1 @@
+lib/group/toddcoxeter.ml: Array List Presentation Queue

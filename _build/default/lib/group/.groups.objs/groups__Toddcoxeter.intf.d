@@ -1,0 +1,1 @@
+lib/group/toddcoxeter.mli: Presentation Word

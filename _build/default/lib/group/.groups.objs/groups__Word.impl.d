@@ -1,0 +1,1 @@
+lib/group/word.ml: Array Format Group List Printf String

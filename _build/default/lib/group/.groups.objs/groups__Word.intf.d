@@ -1,0 +1,1 @@
+lib/group/word.mli: Format Group

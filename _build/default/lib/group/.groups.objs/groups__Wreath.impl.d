@@ -1,0 +1,1 @@
+lib/group/wreath.ml: Array Group List Printf String

@@ -1,0 +1,1 @@
+lib/group/wreath.mli: Group

@@ -1,0 +1,32 @@
+type counters = { mutable mul : int; mutable inv : int; mutable eq : int }
+
+let fresh_counters () = { mul = 0; inv = 0; eq = 0 }
+let total c = c.mul + c.inv + c.eq
+
+let reset c =
+  c.mul <- 0;
+  c.inv <- 0;
+  c.eq <- 0
+
+let instrument (g : 'a Group.t) =
+  let c = fresh_counters () in
+  let wrapped =
+    {
+      g with
+      Group.mul =
+        (fun a b ->
+          c.mul <- c.mul + 1;
+          g.Group.mul a b);
+      inv =
+        (fun a ->
+          c.inv <- c.inv + 1;
+          g.Group.inv a);
+      equal =
+        (fun a b ->
+          c.eq <- c.eq + 1;
+          g.Group.equal a b);
+    }
+  in
+  (wrapped, c)
+
+let pp_counters fmt c = Format.fprintf fmt "mul=%d inv=%d eq=%d" c.mul c.inv c.eq

@@ -1,0 +1,23 @@
+(** Black-box instrumentation.
+
+    Wraps a group so that every oracle call (multiplication, inversion,
+    equality) is counted, matching the black-box group model of
+    Babai–Szemerédi in which these are the only operations an algorithm
+    may perform on encodings.  Experiments report these counters
+    alongside the hiding-function query counts. *)
+
+type counters = {
+  mutable mul : int;
+  mutable inv : int;
+  mutable eq : int;
+}
+
+val fresh_counters : unit -> counters
+val total : counters -> int
+val reset : counters -> unit
+
+val instrument : 'a Group.t -> 'a Group.t * counters
+(** A behaviourally identical group whose operations tick the returned
+    counters. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,26 @@
+type elt = { rot : int; flip : bool }
+
+(* Presentation: s^n = t^2 = 1, t s t = s^-1.  Elements s^r t^e;
+   (s^a t^e1)(s^b t^e2) = s^(a + b or a - b) t^(e1 xor e2). *)
+let group n =
+  if n < 1 then invalid_arg "Dihedral.group: n < 1";
+  let norm r = Numtheory.Arith.emod r n in
+  let mul a b =
+    if a.flip then { rot = norm (a.rot - b.rot); flip = not b.flip }
+    else { rot = norm (a.rot + b.rot); flip = b.flip }
+  in
+  let inv a = if a.flip then a else { rot = norm (-a.rot); flip = false } in
+  Group.make
+    ~name:(Printf.sprintf "D_%d" n)
+    ~mul ~inv
+    ~id:{ rot = 0; flip = false }
+    ~equal:( = )
+    ~repr:(fun a -> Printf.sprintf "%d%c" a.rot (if a.flip then 't' else 'r'))
+    ~generators:[ { rot = 1; flip = false }; { rot = 0; flip = true } ]
+
+let rotation n r = { rot = Numtheory.Arith.emod r n; flip = false }
+let reflection n r = { rot = Numtheory.Arith.emod r n; flip = true }
+
+let rotation_subgroup_gens n d =
+  if d < 1 || n mod d <> 0 then invalid_arg "Dihedral.rotation_subgroup_gens: d must divide n";
+  [ rotation n d ]

@@ -1,0 +1,57 @@
+open Numtheory
+
+type elt = { a : int array; b : int array; c : int }
+
+let dot p a b =
+  let s = ref 0 in
+  Array.iteri (fun i x -> s := (!s + (x * b.(i))) mod p) a;
+  !s
+
+let group ~p ~m =
+  if not (Primes.is_prime p) then invalid_arg "Extraspecial.group: p not prime";
+  if m < 1 then invalid_arg "Extraspecial.group: m < 1";
+  let norm v = Array.map (fun x -> Arith.emod x p) v in
+  let mul x y =
+    {
+      a = norm (Array.init m (fun i -> x.a.(i) + y.a.(i)));
+      b = norm (Array.init m (fun i -> x.b.(i) + y.b.(i)));
+      c = Arith.emod (x.c + y.c + dot p x.a y.b) p;
+    }
+  in
+  let inv x =
+    (* (a,b,c)^-1 = (-a, -b, -c + <a,b>) *)
+    {
+      a = norm (Array.map (fun v -> -v) x.a);
+      b = norm (Array.map (fun v -> -v) x.b);
+      c = Arith.emod (-x.c + dot p x.a x.b) p;
+    }
+  in
+  let unit_vec i = Array.init m (fun j -> if i = j then 1 else 0) in
+  let zero = Array.make m 0 in
+  let generators =
+    List.init m (fun i -> { a = unit_vec i; b = zero; c = 0 })
+    @ List.init m (fun i -> { a = zero; b = unit_vec i; c = 0 })
+  in
+  Group.make
+    ~name:(Printf.sprintf "H_%d(%d)" p m)
+    ~mul ~inv
+    ~id:{ a = zero; b = zero; c = 0 }
+    ~equal:( = )
+    ~repr:(fun x ->
+      String.concat ","
+        (List.map string_of_int (Array.to_list x.a @ Array.to_list x.b @ [ x.c ])))
+    ~generators
+
+let center_gen ~p ~m =
+  ignore p;
+  { a = Array.make m 0; b = Array.make m 0; c = 1 }
+
+let of_tuple ~p ~m t =
+  if Array.length t <> (2 * m) + 1 then invalid_arg "Extraspecial.of_tuple: length";
+  {
+    a = Array.init m (fun i -> Arith.emod t.(i) p);
+    b = Array.init m (fun i -> Arith.emod t.(m + i) p);
+    c = Arith.emod t.(2 * m) p;
+  }
+
+let to_tuple x = Array.concat [ x.a; x.b; [| x.c |] ]

@@ -1,0 +1,53 @@
+open Numtheory
+
+type elt = { a : int; b : int }
+
+let group ~n ~m ~k =
+  if n < 1 || m < 1 then invalid_arg "Metacyclic.group: n, m >= 1 required";
+  if Arith.gcd k n <> 1 then invalid_arg "Metacyclic.group: gcd(k, n) <> 1";
+  if Arith.powmod k m n <> 1 mod n then invalid_arg "Metacyclic.group: k^m <> 1 mod n";
+  (* precompute the multiplier powers k^b *)
+  let kpow = Array.make m 1 in
+  for b = 1 to m - 1 do
+    kpow.(b) <- kpow.(b - 1) * k mod n
+  done;
+  let mul x y = { a = Arith.emod (x.a + (kpow.(x.b) * y.a)) n; b = (x.b + y.b) mod m } in
+  let inv x =
+    let bi = (m - x.b) mod m in
+    { a = Arith.emod (-kpow.(bi) * x.a) n; b = bi }
+  in
+  Group.make
+    ~name:(Printf.sprintf "Z%d:%d:Z%d" n k m)
+    ~mul ~inv ~id:{ a = 0; b = 0 } ~equal:( = )
+    ~repr:(fun x -> Printf.sprintf "%d.%d" x.a x.b)
+    ~generators:[ { a = 1; b = 0 }; { a = 0; b = 1 } ]
+
+let base_gen = { a = 1; b = 0 }
+let top_gen = { a = 0; b = 1 }
+
+let frobenius ~p ~q =
+  if not (Primes.is_prime p && Primes.is_prime q) then
+    invalid_arg "Metacyclic.frobenius: p, q must be prime";
+  if (p - 1) mod q <> 0 then invalid_arg "Metacyclic.frobenius: q must divide p - 1";
+  (* an element of order exactly q mod p: a generator's power *)
+  let k =
+    let rec search g =
+      if g >= p then invalid_arg "Metacyclic.frobenius: no element of order q (impossible)"
+      else
+        let candidate = Arith.powmod g ((p - 1) / q) p in
+        if candidate <> 1 && Arith.powmod candidate q p = 1 then candidate else search (g + 1)
+    in
+    search 2
+  in
+  group ~n:p ~m:q ~k
+
+let affine ~p =
+  if not (Primes.is_prime p) then invalid_arg "Metacyclic.affine: p must be prime";
+  (* find a primitive root mod p *)
+  let rec search g =
+    if g >= p then invalid_arg "Metacyclic.affine: no primitive root (impossible)"
+    else if Arith.multiplicative_order g p = p - 1 then g
+    else search (g + 1)
+  in
+  let k = if p = 2 then 1 else search 2 in
+  group ~n:p ~m:(p - 1) ~k

@@ -1,0 +1,57 @@
+type elt = { v : int array; t : int }
+
+let mat_apply a v =
+  Array.init (Array.length v) (fun i ->
+      let s = ref 0 in
+      Array.iteri (fun j x -> s := !s lxor (a.(i).(j) land x land 1)) v;
+      !s)
+
+let mat_mul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let s = ref 0 in
+          for k = 0 to n - 1 do
+            s := !s lxor (a.(i).(k) land b.(k).(j))
+          done;
+          !s))
+
+let mat_id n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+let group ~action ~m =
+  let n = Array.length action in
+  if m < 1 then invalid_arg "Semidirect.group: m < 1";
+  (* precompute powers of the action and check A^m = I *)
+  let powers = Array.make m (mat_id n) in
+  for t = 1 to m - 1 do
+    powers.(t) <- mat_mul action powers.(t - 1)
+  done;
+  if mat_mul action powers.(m - 1) <> mat_id n then
+    invalid_arg "Semidirect.group: action^m <> I";
+  let add a b = Array.init n (fun i -> (a.(i) + b.(i)) land 1) in
+  let mul x y = { v = add x.v (mat_apply powers.(x.t) y.v); t = (x.t + y.t) mod m } in
+  let inv x =
+    let ti = (m - x.t) mod m in
+    { v = mat_apply powers.(ti) x.v; t = ti }
+  in
+  let zero = Array.make n 0 in
+  let unit_vec i = Array.init n (fun j -> if i = j then 1 else 0) in
+  let generators =
+    { v = zero; t = 1 mod m } :: List.init n (fun i -> { v = unit_vec i; t = 0 })
+  in
+  Group.make
+    ~name:(Printf.sprintf "Z2^%d:Z%d" n m)
+    ~mul ~inv
+    ~id:{ v = zero; t = 0 }
+    ~equal:( = )
+    ~repr:(fun x ->
+      String.concat "" (List.map string_of_int (Array.to_list x.v)) ^ "." ^ string_of_int x.t)
+    ~generators
+
+let base_gens ~n =
+  List.init n (fun i -> { v = Array.init n (fun j -> if i = j then 1 else 0); t = 0 })
+
+let top_gen ~n = { v = Array.make n 0; t = 1 }
+
+let cyclic_action n =
+  Array.init n (fun i -> Array.init n (fun j -> if j = (i + 1) mod n then 1 else 0))

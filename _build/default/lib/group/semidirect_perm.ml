@@ -1,0 +1,49 @@
+type elt = { v : int array; s : Perm.elt }
+
+let apply_perm (s : Perm.elt) v = Array.init (Array.length v) (fun i -> v.(s.(i)))
+(* (s(w))_i = w_{s(i)}: the convention only needs to be a consistent
+   action; with composition (compose p q) i = p (q i) this satisfies
+   apply_perm (compose p q) = apply_perm q . apply_perm p ... the
+   check below picks the order that makes mul associative. *)
+
+let group ~n ~top =
+  List.iter
+    (fun s ->
+      if Array.length s <> n || not (Perm.is_valid s) then
+        invalid_arg "Semidirect_perm.group: top generator is not a permutation of degree n")
+    top;
+  (* action: sigma . w permutes coordinates; we need
+     sigma . (tau . w) = (sigma tau) . w.  With (sigma.w)_i = w_(sigma^-1 i)
+     that holds; realise it via the inverse permutation. *)
+  let act s w =
+    let si = Perm.inverse s in
+    apply_perm si w
+  in
+  let add a b = Array.init n (fun i -> (a.(i) + b.(i)) land 1) in
+  let mul x y = { v = add x.v (act x.s y.v); s = Perm.compose x.s y.s } in
+  let inv x =
+    let si = Perm.inverse x.s in
+    { v = act si x.v; s = si }
+  in
+  let zero = Array.make n 0 in
+  let unit_vec i = Array.init n (fun j -> if i = j then 1 else 0) in
+  let generators =
+    List.map (fun s -> { v = zero; s }) top
+    @ List.init n (fun i -> { v = unit_vec i; s = Perm.identity n })
+  in
+  Group.make
+    ~name:(Printf.sprintf "Z2^%d:Perm" n)
+    ~mul ~inv
+    ~id:{ v = zero; s = Perm.identity n }
+    ~equal:( = )
+    ~repr:(fun x ->
+      String.concat "" (List.map string_of_int (Array.to_list x.v))
+      ^ "."
+      ^ String.concat "," (List.map string_of_int (Array.to_list x.s)))
+    ~generators
+
+let base_gens ~n =
+  List.init n (fun i ->
+      { v = Array.init n (fun j -> if i = j then 1 else 0); s = Perm.identity n })
+
+let lift_perm ~n s = { v = Array.make n 0; s }

@@ -1,0 +1,198 @@
+exception Overflow
+
+(* Symbols: generator i acts as column 2i, its inverse as column 2i+1. *)
+let sym_of_letter k = if k > 0 then 2 * (k - 1) else (2 * (-k - 1)) + 1
+let inv_sym s = s lxor 1
+
+type state = {
+  mutable table : int array array;  (* table.(c).(s) = coset or -1 *)
+  mutable parent : int array;  (* union-find *)
+  mutable ncos : int;
+  mutable cap : int;
+  d2 : int;
+  max_cosets : int;
+  pending : int Queue.t;  (* dead cosets awaiting row merge *)
+}
+
+let create ~ngens ~max_cosets =
+  let cap = 64 in
+  {
+    table = Array.init cap (fun _ -> Array.make (2 * ngens) (-1));
+    parent = Array.init cap (fun i -> i);
+    ncos = 1;
+    cap;
+    d2 = 2 * ngens;
+    max_cosets;
+    pending = Queue.create ();
+  }
+
+let rec find st c =
+  if st.parent.(c) = c then c
+  else begin
+    let r = find st st.parent.(c) in
+    st.parent.(c) <- r;
+    r
+  end
+
+let grow st =
+  let cap' = st.cap * 2 in
+  let table' = Array.init cap' (fun i -> if i < st.cap then st.table.(i) else Array.make st.d2 (-1)) in
+  let parent' = Array.init cap' (fun i -> if i < st.cap then st.parent.(i) else i) in
+  st.table <- table';
+  st.parent <- parent';
+  st.cap <- cap'
+
+let new_coset st =
+  if st.ncos >= st.max_cosets then raise Overflow;
+  if st.ncos >= st.cap then grow st;
+  let c = st.ncos in
+  st.ncos <- st.ncos + 1;
+  c
+
+(* Record the edge c -s-> d (and its reverse), detecting collisions. *)
+let rec set_edge st c s d =
+  let c = find st c and d = find st d in
+  let cur = st.table.(c).(s) in
+  if cur >= 0 && find st cur <> d then merge st (find st cur) d
+  else begin
+    st.table.(c).(s) <- d;
+    let cur' = st.table.(d).(inv_sym s) in
+    if cur' >= 0 && find st cur' <> c then begin
+      st.table.(d).(inv_sym s) <- c;
+      merge st (find st cur') c
+    end
+    else st.table.(d).(inv_sym s) <- c
+  end
+
+and merge st a b =
+  let a = find st a and b = find st b in
+  if a <> b then begin
+    let keep, kill = if a < b then (a, b) else (b, a) in
+    st.parent.(kill) <- keep;
+    Queue.add kill st.pending;
+    process st
+  end
+
+and process st =
+  while not (Queue.is_empty st.pending) do
+    let dead = Queue.pop st.pending in
+    let live = find st dead in
+    for s = 0 to st.d2 - 1 do
+      let d = st.table.(dead).(s) in
+      if d >= 0 then begin
+        st.table.(dead).(s) <- -1;
+        let d = find st d in
+        set_edge st live s d
+      end
+    done
+  done
+
+(* Scan word [w] starting at coset [c], requiring it to end at [c];
+   fill gaps by defining new cosets (HLT). *)
+let scan_and_fill st c w =
+  let w = Array.of_list w in
+  let len = Array.length w in
+  let rec attempt () =
+    let c = find st c in
+    (* forward *)
+    let f = ref c and i = ref 0 in
+    let continue_fwd = ref true in
+    while !continue_fwd && !i < len do
+      let s = sym_of_letter w.(!i) in
+      let next = st.table.(find st !f).(s) in
+      if next >= 0 then begin
+        f := find st next;
+        incr i
+      end
+      else continue_fwd := false
+    done;
+    if !i = len then begin
+      if find st !f <> find st c then merge st !f c
+    end
+    else begin
+      (* backward *)
+      let b = ref (find st c) and j = ref len in
+      let continue_bwd = ref true in
+      while !continue_bwd && !j > !i do
+        let s = inv_sym (sym_of_letter w.(!j - 1)) in
+        let next = st.table.(find st !b).(s) in
+        if next >= 0 then begin
+          b := find st next;
+          decr j
+        end
+        else continue_bwd := false
+      done;
+      if !j = !i then begin
+        if find st !f <> find st !b then merge st !f !b
+      end
+      else if !j = !i + 1 then begin
+        set_edge st !f (sym_of_letter w.(!i)) !b;
+        process st
+      end
+      else begin
+        (* gap of length >= 2: define one new coset and retry *)
+        let n = new_coset st in
+        set_edge st !f (sym_of_letter w.(!i)) n;
+        process st;
+        attempt ()
+      end
+    end
+  in
+  if len > 0 then attempt ()
+
+let enumerate ~ngens ~relators ~subgroup ~max_cosets =
+  let st = create ~ngens ~max_cosets in
+  (* subgroup generators fix coset 0 *)
+  List.iter (fun w -> scan_and_fill st 0 w) subgroup;
+  (* HLT main loop: process live cosets in order; new cosets are
+     appended, so a single pass visits everything. *)
+  let c = ref 0 in
+  while !c < st.ncos do
+    if find st !c = !c then begin
+      List.iter (fun w -> if find st !c = !c then scan_and_fill st !c w) relators;
+      (* fill any remaining undefined entries of the row *)
+      if find st !c = !c then
+        for s = 0 to st.d2 - 1 do
+          if find st !c = !c && st.table.(!c).(s) < 0 then begin
+            let n = new_coset st in
+            set_edge st !c s n;
+            process st
+          end
+        done
+    end;
+    incr c
+  done;
+  (* Verification sweeps: coincidences during the main pass can leave a
+     relator not closing at an already-processed coset.  The table is
+     now complete, so re-tracing every relator at every live coset can
+     only trigger further coincidences; iterate to a fixpoint. *)
+  let trace c w =
+    List.fold_left (fun x k -> find st st.table.(x).(sym_of_letter k)) (find st c) w
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for k = 0 to st.ncos - 1 do
+      if find st k = k then
+        List.iter
+          (fun w ->
+            if find st k = k && w <> [] then begin
+              let e = trace k w in
+              if e <> find st k then begin
+                merge st e k;
+                changed := true
+              end
+            end)
+          relators
+    done
+  done;
+  (* count live cosets *)
+  let live = ref 0 in
+  for k = 0 to st.ncos - 1 do
+    if find st k = k then incr live
+  done;
+  !live
+
+let order_of_presentation (p : Presentation.t) ~max_cosets =
+  enumerate ~ngens:p.Presentation.ngens ~relators:p.Presentation.relators ~subgroup:[]
+    ~max_cosets

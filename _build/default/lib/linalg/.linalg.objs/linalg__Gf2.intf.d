@@ -1,0 +1,1 @@
+lib/linalg/gf2.mli: Format

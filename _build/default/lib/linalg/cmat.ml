@@ -1,0 +1,71 @@
+type t = Cx.t array array
+
+let make r c = Array.init r (fun _ -> Array.make c Cx.zero)
+let init r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+
+let mul a b =
+  let r = rows a and n = cols a and c = cols b in
+  if rows b <> n then invalid_arg "Cmat.mul: dimension mismatch";
+  init r c (fun i j ->
+      let acc = ref Cx.zero in
+      for k = 0 to n - 1 do
+        acc := Cx.add !acc (Cx.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let apply m v =
+  let r = rows m and c = cols m in
+  if Array.length v <> c then invalid_arg "Cmat.apply: dimension mismatch";
+  Array.init r (fun i ->
+      let acc = ref Cx.zero in
+      for j = 0 to c - 1 do
+        acc := Cx.add !acc (Cx.mul m.(i).(j) v.(j))
+      done;
+      !acc)
+
+let adjoint m = init (cols m) (rows m) (fun i j -> Cx.conj m.(j).(i))
+
+let kron a b =
+  let ra = rows a and ca = cols a and rb = rows b and cb = cols b in
+  init (ra * rb) (ca * cb) (fun i j ->
+      Cx.mul a.(i / rb).(j / cb) b.(i mod rb).(j mod cb))
+
+let scale c m = Array.map (Array.map (Cx.mul c)) m
+let add a b = Array.mapi (fun i row -> Array.mapi (fun j x -> Cx.add x b.(i).(j)) row) a
+
+let approx_equal ?(eps = 1e-9) a b =
+  rows a = rows b && cols a = cols b
+  && begin
+       let ok = ref true in
+       for i = 0 to rows a - 1 do
+         for j = 0 to cols a - 1 do
+           if not (Cx.approx_equal ~eps a.(i).(j) b.(i).(j)) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let is_unitary ?(eps = 1e-9) m =
+  rows m = cols m && approx_equal ~eps (mul (adjoint m) m) (identity (rows m))
+
+let dft n =
+  if n < 1 then invalid_arg "Cmat.dft: n < 1";
+  let s = 1.0 /. sqrt (float_of_int n) in
+  init n n (fun j k -> Cx.scale s (Cx.root_of_unity n (j * k)))
+
+let permutation n pi =
+  let seen = Array.make n false in
+  for k = 0 to n - 1 do
+    let p = pi k in
+    if p < 0 || p >= n || seen.(p) then invalid_arg "Cmat.permutation: not a bijection";
+    seen.(p) <- true
+  done;
+  init n n (fun i j -> if pi j = i then Cx.one else Cx.zero)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iter (fun row -> Format.fprintf fmt "%a@," Cvec.pp row) m;
+  Format.fprintf fmt "@]"

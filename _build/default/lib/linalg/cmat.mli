@@ -1,0 +1,35 @@
+(** Dense complex matrices: the unitaries of the simulator. *)
+
+type t = Cx.t array array
+(** Row-major square or rectangular matrix. *)
+
+val make : int -> int -> t
+(** Zero matrix [rows x cols]. *)
+
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val mul : t -> t -> t
+val apply : t -> Cvec.t -> Cvec.t
+val adjoint : t -> t
+val kron : t -> t -> t
+(** Kronecker (tensor) product. *)
+
+val scale : Cx.t -> t -> t
+val add : t -> t -> t
+val approx_equal : ?eps:float -> t -> t -> bool
+
+val is_unitary : ?eps:float -> t -> bool
+(** [m* m = I] within tolerance; false for non-square matrices. *)
+
+val dft : int -> t
+(** [dft n] is the unitary discrete Fourier transform of dimension [n]:
+    [dft n].(j).(k) = exp(2 pi i j k / n) / sqrt n.  This is the QFT
+    over the cyclic group [Z_n]. *)
+
+val permutation : int -> (int -> int) -> t
+(** [permutation n pi] maps [|k>] to [|pi k>]; [pi] must be a bijection
+    on [0..n-1] (checked). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = Cx.t array
+
+let make n = Array.make n Cx.zero
+
+let basis dim k =
+  if k < 0 || k >= dim then invalid_arg "Cvec.basis: index out of range";
+  let v = make dim in
+  v.(k) <- Cx.one;
+  v
+
+let copy = Array.copy
+let dim = Array.length
+let add a b = Array.mapi (fun i x -> Cx.add x b.(i)) a
+let sub a b = Array.mapi (fun i x -> Cx.sub x b.(i)) a
+let scale c v = Array.map (Cx.mul c) v
+
+let dot a b =
+  if dim a <> dim b then invalid_arg "Cvec.dot: dimension mismatch";
+  let acc = ref Cx.zero in
+  for k = 0 to dim a - 1 do
+    acc := Cx.add !acc (Cx.mul (Cx.conj a.(k)) b.(k))
+  done;
+  !acc
+
+let norm2 v = Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 v
+let norm v = sqrt (norm2 v)
+
+let normalize v =
+  let n = norm v in
+  if n = 0.0 then invalid_arg "Cvec.normalize: zero vector";
+  Array.map (Cx.scale (1.0 /. n)) v
+
+let approx_equal ?(eps = 1e-9) a b =
+  dim a = dim b
+  && begin
+       let ok = ref true in
+       for k = 0 to dim a - 1 do
+         if not (Cx.approx_equal ~eps a.(k) b.(k)) then ok := false
+       done;
+       !ok
+     end
+
+let pp fmt v =
+  Format.fprintf fmt "[@[";
+  Array.iteri
+    (fun k z ->
+      if k > 0 then Format.fprintf fmt ";@ ";
+      Cx.pp fmt z)
+    v;
+  Format.fprintf fmt "@]]"

@@ -1,0 +1,27 @@
+(** Complex vectors (quantum state amplitudes). *)
+
+type t = Cx.t array
+
+val make : int -> t
+(** Zero vector of the given dimension. *)
+
+val basis : int -> int -> t
+(** [basis dim k] is the computational basis vector [|k>]. *)
+
+val copy : t -> t
+val dim : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+val dot : t -> t -> Cx.t
+(** Hermitian inner product, conjugate-linear in the first argument. *)
+
+val norm2 : t -> float
+(** Squared 2-norm. *)
+
+val norm : t -> float
+val normalize : t -> t
+(** @raise Invalid_argument on the zero vector. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let k = ref 1 in
+  while !k < n do
+    k := !k * 2
+  done;
+  !k
+
+let transform ?(inverse = false) (v : Cx.t array) =
+  let n = Array.length v in
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length not a power of two";
+  if n > 1 then begin
+    (* bit reversal permutation *)
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let t = v.(i) in
+        v.(i) <- v.(!j);
+        v.(!j) <- t
+      end;
+      let bit = ref (n lsr 1) in
+      while !j land !bit <> 0 do
+        j := !j lxor !bit;
+        bit := !bit lsr 1
+      done;
+      j := !j lor !bit
+    done;
+    (* butterflies; positive exponent matches Cmat.dft, inverse
+       conjugates the twiddles *)
+    let sign = if inverse then -1.0 else 1.0 in
+    let len = ref 2 in
+    while !len <= n do
+      let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+      let wlen = Cx.make (cos ang) (sin ang) in
+      let i = ref 0 in
+      while !i < n do
+        let w = ref Cx.one in
+        for k = 0 to (!len / 2) - 1 do
+          let a = v.(!i + k) and b = Cx.mul v.(!i + k + (!len / 2)) !w in
+          v.(!i + k) <- Cx.add a b;
+          v.(!i + k + (!len / 2)) <- Cx.sub a b;
+          w := Cx.mul !w wlen
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done;
+    let s = 1.0 /. sqrt (float_of_int n) in
+    for i = 0 to n - 1 do
+      v.(i) <- Cx.scale s v.(i)
+    done
+  end
+
+(* Bluestein's chirp-z transform: X_k = w^(k^2/2) * sum_j (x_j w^(j^2/2))
+   * w^(-(k-j)^2/2) with w = e^(2 pi i / n) — a circular convolution,
+   evaluated with three power-of-two FFTs.  The half-square chirp
+   w^(j^2/2) = e^(i pi j^2 / n) is an exact 2n-th root of unity at
+   exponent j^2 mod 2n. *)
+let bluestein v =
+  let n = Array.length v in
+  let chirp j = Cx.root_of_unity (2 * n) (j * j mod (2 * n)) in
+  let m = next_pow2 ((2 * n) - 1) in
+  let a = Array.make m Cx.zero and b = Array.make m Cx.zero in
+  for j = 0 to n - 1 do
+    a.(j) <- Cx.mul v.(j) (chirp j);
+    let c = Cx.conj (chirp j) in
+    b.(j) <- c;
+    if j > 0 then b.(m - j) <- c
+  done;
+  transform a;
+  transform b;
+  (* unitary convolution theorem: conv a b = F^-1 (sqrt m . Fa . Fb) *)
+  let s = sqrt (float_of_int m) in
+  for k = 0 to m - 1 do
+    a.(k) <- Cx.scale s (Cx.mul a.(k) b.(k))
+  done;
+  transform ~inverse:true a;
+  let norm = 1.0 /. sqrt (float_of_int n) in
+  for k = 0 to n - 1 do
+    v.(k) <- Cx.scale norm (Cx.mul (chirp k) a.(k))
+  done
+
+let dft_any ?(inverse = false) v =
+  let n = Array.length v in
+  if is_pow2 n then transform ~inverse v
+  else if inverse then begin
+    (* F* x = conj (F (conj x)) for the unitary DFT *)
+    for i = 0 to n - 1 do
+      v.(i) <- Cx.conj v.(i)
+    done;
+    bluestein v;
+    for i = 0 to n - 1 do
+      v.(i) <- Cx.conj v.(i)
+    done
+  end
+  else bluestein v

@@ -1,0 +1,20 @@
+(** In-place radix-2 fast Fourier transform.
+
+    Shor-style period finding uses registers of dimension [Q = 2^t]
+    in the thousands-to-millions range, where the dense [Q x Q] DFT
+    matrix is hopeless.  [transform] computes exactly the unitary
+    {!Cmat.dft} (positive-exponent convention, [1/sqrt n]
+    normalisation) in [O(n log n)]. *)
+
+val transform : ?inverse:bool -> Cx.t array -> unit
+(** In-place; the length must be a power of two.
+    [transform v] applies [Cmat.dft n]; [~inverse:true] applies its
+    adjoint. *)
+
+val dft_any : ?inverse:bool -> Cx.t array -> unit
+(** The unitary DFT of arbitrary length in [O(n log n)]: radix-2 when
+    the length is a power of two, Bluestein's chirp-z transform (three
+    power-of-two FFTs) otherwise.  Semantics identical to
+    [Cmat.apply (Cmat.dft n)]. *)
+
+val is_pow2 : int -> bool

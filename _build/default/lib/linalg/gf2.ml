@@ -1,0 +1,113 @@
+type vec = int array
+
+let zero n = Array.make n 0
+let add a b = Array.mapi (fun i x -> (x + b.(i)) land 1) a
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Gf2.dot: dimension mismatch";
+  let s = ref 0 in
+  Array.iteri (fun i x -> s := !s + (x * b.(i))) a;
+  !s land 1
+
+let is_zero v = Array.for_all (fun x -> x land 1 = 0) v
+let equal a b = Array.length a = Array.length b && Array.for_all2 (fun x y -> x land 1 = y land 1) a b
+
+let normalize v = Array.map (fun x -> x land 1) v
+
+let pivot v =
+  let rec go i = if i >= Array.length v then None else if v.(i) = 1 then Some i else go (i + 1) in
+  go 0
+
+let rref vectors =
+  let vectors = List.map normalize vectors in
+  (* Gaussian elimination producing a canonical reduced basis. *)
+  let basis = ref [] in
+  let reduce v =
+    List.fold_left
+      (fun v (p, b) -> if v.(p) = 1 then add v b else v)
+      v !basis
+  in
+  List.iter
+    (fun v ->
+      let v = reduce v in
+      match pivot v with
+      | None -> ()
+      | Some p ->
+          (* back-substitute into the existing basis *)
+          basis := List.map (fun (q, b) -> if b.(p) = 1 then (q, add b v) else (q, b)) !basis;
+          basis := (p, v) :: !basis)
+    vectors;
+  List.sort (fun (p, _) (q, _) -> compare p q) !basis |> List.map snd
+
+let rank vectors = List.length (rref vectors)
+
+let in_span vectors v =
+  let basis = rref vectors in
+  let v = normalize v in
+  let residual =
+    List.fold_left
+      (fun v b ->
+        match pivot b with
+        | Some p when v.(p) = 1 -> add v b
+        | _ -> v)
+      v basis
+  in
+  is_zero residual
+
+let solve rows b =
+  (* Solve sum_i x_i rows_i = b by eliminating on the augmented system
+     [rows_i | e_i]. *)
+  let k = List.length rows in
+  let augmented =
+    List.mapi
+      (fun i r ->
+        let coeff = zero k in
+        coeff.(i) <- 1;
+        (normalize r, coeff))
+      rows
+  in
+  let basis = ref [] in
+  let reduce (v, c) =
+    List.fold_left
+      (fun (v, c) (p, bv, bc) -> if v.(p) = 1 then (add v bv, add c bc) else (v, c))
+      (v, c) !basis
+  in
+  List.iter
+    (fun vc ->
+      let v, c = reduce vc in
+      match pivot v with None -> () | Some p -> basis := (p, v, c) :: !basis)
+    augmented;
+  let v, c = reduce (normalize b, zero k) in
+  if is_zero v then Some c else None
+
+let kernel rows =
+  match rows with
+  | [] -> invalid_arg "Gf2.kernel: need at least one row to fix the dimension"
+  | r0 :: _ ->
+      let n = Array.length r0 in
+      let basis = rref rows in
+      let pivots = List.filter_map pivot basis in
+      let is_pivot = Array.make n false in
+      List.iter (fun p -> is_pivot.(p) <- true) pivots;
+      let free = List.filter (fun j -> not is_pivot.(j)) (List.init n (fun j -> j)) in
+      List.map
+        (fun j ->
+          let x = zero n in
+          x.(j) <- 1;
+          (* for each pivot row r with pivot p: x_p = r . e_j restricted *)
+          List.iter
+            (fun r ->
+              match pivot r with
+              | Some p -> if r.(j) = 1 then x.(p) <- 1
+              | None -> ())
+            basis;
+          x)
+        free
+
+let basis_of = rref
+let span_cardinal vectors = 1 lsl rank vectors
+
+let pp fmt v =
+  Format.fprintf fmt "[";
+  Array.iteri (fun i x -> if i > 0 then Format.fprintf fmt " %d" (x land 1) else Format.fprintf fmt "%d" (x land 1)) v;
+  Format.fprintf fmt "]"

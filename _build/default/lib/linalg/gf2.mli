@@ -1,0 +1,45 @@
+(** Linear algebra over GF(2).
+
+    Vectors are [int array]s with entries in [{0,1}].  This is the
+    post-processing engine for Simon-style Fourier sampling over
+    [Z_2^n] (the sampled characters span the annihilator of the hidden
+    subgroup) and for Theorem 13's work inside an elementary Abelian
+    normal 2-subgroup. *)
+
+type vec = int array
+
+val zero : int -> vec
+val add : vec -> vec -> vec
+val dot : vec -> vec -> int
+(** Inner product mod 2. *)
+
+val is_zero : vec -> bool
+val equal : vec -> vec -> bool
+
+val rref : vec list -> vec list
+(** Reduced row echelon form of the span of the given vectors: a
+    canonical basis, sorted by pivot position.  All inputs must share
+    one dimension. *)
+
+val rank : vec list -> int
+
+val in_span : vec list -> vec -> bool
+
+val solve : vec list -> vec -> vec option
+(** [solve rows b] finds [x] with [M x = b] where [M] has the given
+    rows, i.e. coefficients expressing [b]... precisely: returns [x]
+    with [sum_i x.(i) * rows_i = b] (a coordinate vector over the
+    generating list), or [None]. *)
+
+val kernel : vec list -> vec list
+(** Basis of [{ x : forall row r, r . x = 0 }]; [rows] are vectors of a
+    common dimension [n], result vectors have dimension [n].  This is
+    the orthogonal complement of the span. *)
+
+val basis_of : vec list -> vec list
+(** A subset-independent canonical basis of the span (same as [rref]). *)
+
+val span_cardinal : vec list -> int
+(** [2^rank]. *)
+
+val pp : Format.formatter -> vec -> unit

@@ -1,0 +1,1 @@
+lib/numtheory/arith.ml: List

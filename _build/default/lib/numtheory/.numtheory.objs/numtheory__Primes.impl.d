@@ -1,0 +1,1 @@
+lib/numtheory/primes.ml: Arith Array Bytes Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/numtheory/primes.mli: Random

@@ -1,0 +1,1 @@
+lib/numtheory/zmatrix.ml: Array Format List

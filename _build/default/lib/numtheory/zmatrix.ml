@@ -1,0 +1,243 @@
+type t = int array array
+
+let make r c v = Array.init r (fun _ -> Array.make c v)
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+let copy a = Array.map Array.copy a
+let rows a = Array.length a
+let cols a = if Array.length a = 0 then 0 else Array.length a.(0)
+
+let mul a b =
+  let r = rows a and n = cols a and c = cols b in
+  if rows b <> n then invalid_arg "Zmatrix.mul: dimension mismatch";
+  Array.init r (fun i ->
+      Array.init c (fun j ->
+          let s = ref 0 in
+          for k = 0 to n - 1 do
+            s := !s + (a.(i).(k) * b.(k).(j))
+          done;
+          !s))
+
+let transpose a =
+  let r = rows a and c = cols a in
+  Array.init c (fun j -> Array.init r (fun i -> a.(i).(j)))
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && begin
+       let ok = ref true in
+       for i = 0 to rows a - 1 do
+         for j = 0 to cols a - 1 do
+           if a.(i).(j) <> b.(i).(j) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun row ->
+      Format.fprintf fmt "[";
+      Array.iteri (fun j x -> if j > 0 then Format.fprintf fmt " %d" x else Format.fprintf fmt "%d" x) row;
+      Format.fprintf fmt "]@,")
+    a;
+  Format.fprintf fmt "@]"
+
+let apply a x =
+  let r = rows a and c = cols a in
+  if Array.length x <> c then invalid_arg "Zmatrix.apply: dimension mismatch";
+  Array.init r (fun i ->
+      let s = ref 0 in
+      for j = 0 to c - 1 do
+        s := !s + (a.(i).(j) * x.(j))
+      done;
+      !s)
+
+(* --- Smith normal form ------------------------------------------------ *)
+
+(* Elementary operations applied simultaneously to [d] and the
+   accumulating unimodular transforms [u] (row ops) and [v] (col ops). *)
+
+let swap_rows d u i j =
+  if i <> j then begin
+    let t = d.(i) in
+    d.(i) <- d.(j);
+    d.(j) <- t;
+    let t = u.(i) in
+    u.(i) <- u.(j);
+    u.(j) <- t
+  end
+
+let swap_cols d v i j =
+  if i <> j then begin
+    for r = 0 to Array.length d - 1 do
+      let t = d.(r).(i) in
+      d.(r).(i) <- d.(r).(j);
+      d.(r).(j) <- t
+    done;
+    for r = 0 to Array.length v - 1 do
+      let t = v.(r).(i) in
+      v.(r).(i) <- v.(r).(j);
+      v.(r).(j) <- t
+    done
+  end
+
+(* row i <- row i + k * row j *)
+let addmul_row d u i j k =
+  if k <> 0 then begin
+    let di = d.(i) and dj = d.(j) in
+    for c = 0 to Array.length di - 1 do
+      di.(c) <- di.(c) + (k * dj.(c))
+    done;
+    let ui = u.(i) and uj = u.(j) in
+    for c = 0 to Array.length ui - 1 do
+      ui.(c) <- ui.(c) + (k * uj.(c))
+    done
+  end
+
+(* col i <- col i + k * col j *)
+let addmul_col d v i j k =
+  if k <> 0 then begin
+    for r = 0 to Array.length d - 1 do
+      d.(r).(i) <- d.(r).(i) + (k * d.(r).(j))
+    done;
+    for r = 0 to Array.length v - 1 do
+      v.(r).(i) <- v.(r).(i) + (k * v.(r).(j))
+    done
+  end
+
+let negate_row d u i =
+  Array.iteri (fun c x -> d.(i).(c) <- -x) (Array.copy d.(i));
+  Array.iteri (fun c x -> u.(i).(c) <- -x) (Array.copy u.(i))
+
+let snf a =
+  let r = rows a and c = cols a in
+  let d = copy a in
+  let u = identity r and v = identity c in
+  let n = min r c in
+  for t = 0 to n - 1 do
+    (* Find a pivot: the nonzero entry of smallest magnitude in the
+       trailing submatrix, brought to (t, t); then clear its row and
+       column, restarting whenever a remainder reduces the pivot. *)
+    let continue_ = ref true in
+    while !continue_ do
+      (* locate minimal nonzero entry *)
+      let best = ref None in
+      for i = t to r - 1 do
+        for j = t to c - 1 do
+          let x = abs d.(i).(j) in
+          if x <> 0 then
+            match !best with
+            | Some (bx, _, _) when bx <= x -> ()
+            | _ -> best := Some (x, i, j)
+        done
+      done;
+      match !best with
+      | None -> continue_ := false (* trailing block is zero *)
+      | Some (_, pi, pj) ->
+          swap_rows d u t pi;
+          swap_cols d v t pj;
+          if d.(t).(t) < 0 then negate_row d u t;
+          let p = d.(t).(t) in
+          (* reduce column t *)
+          let dirty = ref false in
+          for i = t + 1 to r - 1 do
+            if d.(i).(t) <> 0 then begin
+              let q = d.(i).(t) / p in
+              addmul_row d u i t (-q);
+              if d.(i).(t) <> 0 then dirty := true
+            end
+          done;
+          (* reduce row t *)
+          for j = t + 1 to c - 1 do
+            if d.(t).(j) <> 0 then begin
+              let q = d.(t).(j) / p in
+              addmul_col d v j t (-q);
+              if d.(t).(j) <> 0 then dirty := true
+            end
+          done;
+          if not !dirty then begin
+            (* Row and column are clear.  Enforce divisibility: if some
+               entry of the trailing block is not divisible by p, fold
+               its row into row t and continue reducing. *)
+            let offender = ref None in
+            (try
+               for i = t + 1 to r - 1 do
+                 for j = t + 1 to c - 1 do
+                   if d.(i).(j) mod p <> 0 then begin
+                     offender := Some i;
+                     raise Exit
+                   end
+                 done
+               done
+             with Exit -> ());
+            match !offender with
+            | None -> continue_ := false
+            | Some i -> addmul_row d u t i 1
+          end
+    done
+  done;
+  (u, d, v)
+
+let diagonal_of_snf d =
+  let n = min (rows d) (cols d) in
+  Array.init n (fun i -> d.(i).(i))
+
+let kernel a =
+  let c = cols a in
+  if rows a = 0 then List.init c (fun i -> Array.init c (fun j -> if i = j then 1 else 0))
+  else begin
+    let _, d, v = snf a in
+    let diag = diagonal_of_snf d in
+    let basis = ref [] in
+    for j = c - 1 downto 0 do
+      let dj = if j < Array.length diag then diag.(j) else 0 in
+      if dj = 0 then
+        (* column j of v spans a kernel direction *)
+        basis := Array.init c (fun i -> v.(i).(j)) :: !basis
+    done;
+    !basis
+  end
+
+let kernel_mod ~moduli a =
+  let r = rows a and c = cols a in
+  if Array.length moduli <> r then invalid_arg "Zmatrix.kernel_mod: moduli length";
+  (* Solutions of A x = 0 (mod diag moduli) are projections of the
+     integer kernel of [A | diag(moduli)]. *)
+  let b =
+    Array.init r (fun i ->
+        Array.init (c + r) (fun j ->
+            if j < c then a.(i).(j) else if j - c = i then moduli.(i) else 0))
+  in
+  kernel b |> List.map (fun x -> Array.sub x 0 c)
+
+let solve a b =
+  let r = rows a and c = cols a in
+  if Array.length b <> r then invalid_arg "Zmatrix.solve: dimension mismatch";
+  let u, d, v = snf a in
+  let ub = apply u b in
+  let diag = diagonal_of_snf d in
+  let z = Array.make c 0 in
+  let ok = ref true in
+  for i = 0 to r - 1 do
+    let di = if i < Array.length diag then diag.(i) else 0 in
+    if di = 0 then begin
+      if ub.(i) <> 0 then ok := false
+    end
+    else if ub.(i) mod di <> 0 then ok := false
+    else if i < c then z.(i) <- ub.(i) / di
+  done;
+  if !ok then Some (apply v z) else None
+
+let solve_mod ~moduli a b =
+  let r = rows a and c = cols a in
+  if Array.length moduli <> r || Array.length b <> r then
+    invalid_arg "Zmatrix.solve_mod: dimension mismatch";
+  let a' =
+    Array.init r (fun i ->
+        Array.init (c + r) (fun j ->
+            if j < c then a.(i).(j) else if j - c = i then moduli.(i) else 0))
+  in
+  match solve a' b with
+  | None -> None
+  | Some x -> Some (Array.sub x 0 c)

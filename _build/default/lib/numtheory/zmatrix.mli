@@ -1,0 +1,52 @@
+(** Dense integer matrices and the Smith normal form.
+
+    The Smith normal form is the workhorse behind the Abelian
+    post-processing of Fourier sampling: the hidden subgroup is the
+    joint kernel (modulo the group exponents) of the sampled
+    characters, i.e. the solution lattice of a system of linear
+    congruences.  Entries are native [int]s; all inputs the simulator
+    produces keep intermediate values far below overflow. *)
+
+type t = int array array
+(** Row-major, rectangular: [m.(i).(j)] is row [i], column [j].
+    The empty matrix with [r] rows and 0 columns is [Array.make r [||]]. *)
+
+val make : int -> int -> int -> t
+val identity : int -> t
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+val mul : t -> t -> t
+val transpose : t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val apply : t -> int array -> int array
+(** [apply a x] is the matrix-vector product [a * x]. *)
+
+val snf : t -> t * t * t
+(** [snf a] is [(u, d, v)] with [u * a * v = d], [u] and [v] unimodular
+    and [d] diagonal with non-negative entries satisfying
+    [d.(i).(i)] divides [d.(i+1).(i+1)]. *)
+
+val diagonal_of_snf : t -> int array
+(** The diagonal of a (rectangular) diagonal matrix, length
+    [min rows cols]. *)
+
+val kernel : t -> int array list
+(** A basis of the integer kernel [{ x : a * x = 0 }]. *)
+
+val kernel_mod : moduli:int array -> t -> int array list
+(** [kernel_mod ~moduli a] returns generators (as a lattice containing
+    [moduli.(i) * e_i] implicitly) of
+    [{ x : (a * x).(i) = 0  mod moduli.(i) for all i }].
+    The returned vectors generate the solution set as a subgroup of
+    [Z^cols]; callers typically reduce coordinates modulo their own
+    component orders. *)
+
+val solve : t -> int array -> int array option
+(** [solve a b] finds some integer solution of [a * x = b], or [None]. *)
+
+val solve_mod : moduli:int array -> t -> int array -> int array option
+(** [solve_mod ~moduli a b] finds [x] with
+    [(a * x).(i) = b.(i) mod moduli.(i)] for all rows [i], or [None]. *)

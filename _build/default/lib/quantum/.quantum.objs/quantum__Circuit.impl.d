@@ -1,0 +1,1 @@
+lib/quantum/circuit.ml: Array Cmat Gates Linalg List State

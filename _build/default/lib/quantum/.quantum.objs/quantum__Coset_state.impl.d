@@ -1,0 +1,1 @@
+lib/quantum/coset_state.ml: Array Cvec Cx Hashtbl Lazy Linalg List Numtheory Qft Query Random State

@@ -1,0 +1,1 @@
+lib/quantum/coset_state.mli: Linalg Query Random

@@ -1,0 +1,1 @@
+lib/quantum/gates.ml: Array Cmat Cx Float Linalg

@@ -1,0 +1,1 @@
+lib/quantum/gates.mli: Linalg

@@ -1,0 +1,1 @@
+lib/quantum/phase_estimation.ml: Array Cmat Cvec Cx Float Hashtbl Linalg Option State

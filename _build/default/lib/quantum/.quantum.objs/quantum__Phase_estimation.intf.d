@@ -1,0 +1,1 @@
+lib/quantum/phase_estimation.mli: Linalg Random

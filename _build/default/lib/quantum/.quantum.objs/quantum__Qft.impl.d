@@ -1,0 +1,1 @@
+lib/quantum/qft.ml: Array Cx Linalg List Numtheory State

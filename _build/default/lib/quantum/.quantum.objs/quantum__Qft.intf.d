@@ -1,0 +1,1 @@
+lib/quantum/qft.mli: Linalg State

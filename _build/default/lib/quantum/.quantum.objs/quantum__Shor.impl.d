@@ -1,0 +1,1 @@
+lib/quantum/shor.ml: Arith Array Contfrac Cvec Cx Linalg List Numtheory Primes Qft Query Random State

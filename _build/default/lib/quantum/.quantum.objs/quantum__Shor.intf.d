@@ -1,0 +1,1 @@
+lib/quantum/shor.mli: Query Random

@@ -1,0 +1,1 @@
+lib/quantum/state.ml: Array Cmat Cvec Cx Fft Format Linalg List Random String

@@ -1,0 +1,50 @@
+open Linalg
+
+type op = Gate of Cmat.t * int list
+
+type t = { num_qubits : int; ops : op list }
+
+let empty n = { num_qubits = n; ops = [] }
+let gate t m wires = { t with ops = t.ops @ [ Gate (m, wires) ] }
+
+let seq a b =
+  if a.num_qubits <> b.num_qubits then invalid_arg "Circuit.seq: arity mismatch";
+  { a with ops = a.ops @ b.ops }
+
+let run t state =
+  if State.num_wires state <> t.num_qubits || Array.exists (fun d -> d <> 2) (State.dims state)
+  then invalid_arg "Circuit.run: state is not a matching qubit register";
+  List.fold_left (fun st (Gate (m, wires)) -> State.apply_wires st ~wires m) state t.ops
+
+let to_matrix t =
+  let dim = 1 lsl t.num_qubits in
+  let cols =
+    List.init dim (fun k ->
+        let x = State.decode (Array.make t.num_qubits 2) k in
+        let st = run t (State.of_basis (Array.make t.num_qubits 2) x) in
+        State.amplitudes st)
+  in
+  Cmat.init dim dim (fun i j -> (List.nth cols j).(i))
+
+let gate_count t = List.length t.ops
+
+let qft ?approx_threshold n =
+  let keep k = match approx_threshold with None -> true | Some t -> k <= t in
+  let c = ref (empty n) in
+  (* Big-endian convention: wire 0 is the most significant bit.  The
+     standard decomposition produces the DFT with the output bits
+     reversed; the trailing swaps undo that. *)
+  for i = 0 to n - 1 do
+    c := gate !c Gates.h [ i ];
+    for j = i + 1 to n - 1 do
+      let k = j - i + 1 in
+      if keep k then c := gate !c (Gates.controlled (Gates.rk k)) [ j; i ]
+    done
+  done;
+  for i = 0 to (n / 2) - 1 do
+    c := gate !c Gates.swap [ i; n - 1 - i ]
+  done;
+  !c
+
+let inverse t =
+  { t with ops = List.rev_map (fun (Gate (m, wires)) -> Gate (Cmat.adjoint m, wires)) t.ops }

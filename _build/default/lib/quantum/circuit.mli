@@ -1,0 +1,41 @@
+(** Qubit circuits.
+
+    A circuit is a straight-line sequence of gate applications on a
+    register of qubits.  The QFT builder emits the textbook Hadamard /
+    controlled-rotation / swap decomposition, optionally truncating
+    small rotations (the *approximate* QFT the paper relies on via
+    Kitaev's construction); tests check it against the dense DFT
+    matrix. *)
+
+type op =
+  | Gate of Linalg.Cmat.t * int list
+      (** Unitary on the listed wires, most significant first. *)
+
+type t = { num_qubits : int; ops : op list }
+
+val empty : int -> t
+val gate : t -> Linalg.Cmat.t -> int list -> t
+(** Append a gate (applied after the existing ones). *)
+
+val seq : t -> t -> t
+(** [seq a b] runs [a] then [b]; both must have the same arity. *)
+
+val run : t -> State.t -> State.t
+(** @raise Invalid_argument if the state is not a register of
+    [num_qubits] qubits. *)
+
+val to_matrix : t -> Linalg.Cmat.t
+(** Dense unitary of the whole circuit (exponential; small circuits
+    only). *)
+
+val gate_count : t -> int
+
+val qft : ?approx_threshold:int -> int -> t
+(** [qft n] is the quantum Fourier transform on [n] qubits,
+    matching [Linalg.Cmat.dft (2^n)] exactly under the big-endian
+    index convention of {!State}.  [approx_threshold] drops controlled
+    rotations [rk k] with [k > approx_threshold] (Coppersmith's
+    approximate QFT); default keeps all. *)
+
+val inverse : t -> t
+(** Reverses the circuit, inverting each gate (by adjoint). *)

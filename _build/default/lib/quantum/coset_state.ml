@@ -1,0 +1,114 @@
+open Linalg
+
+let max_group_size = 1 lsl 22
+
+let total_of dims =
+  let total = Array.fold_left ( * ) 1 dims in
+  if total > max_group_size then
+    invalid_arg "Coset_state: group too large for state-vector simulation";
+  total
+
+let enumerate dims =
+  let total = total_of dims in
+  List.init total (fun idx -> State.decode dims idx)
+
+let sampler ~dims ~f ~queries =
+  let total = total_of dims in
+  (* The oracle is deterministic, so the simulator's classical
+     expansion of the superposition is computed once and shared by all
+     samples; each sample is still charged one quantum query. *)
+  let tags = lazy (Array.init total (fun idx -> f (State.decode dims idx))) in
+  let wires = List.init (Array.length dims) (fun i -> i) in
+  fun rng ->
+    Query.tick queries;
+    let tags = Lazy.force tags in
+    (* Measure the function register first: the outcome is f(x) for a
+       uniform x, i.e. a coset chosen with probability |coset| / |A|.
+       Drawing a uniform basis index and taking its bucket implements
+       exactly that. *)
+    let x0 = Random.State.int rng total in
+    let t0 = tags.(x0) in
+    let count = ref 0 in
+    for idx = 0 to total - 1 do
+      if tags.(idx) = t0 then incr count
+    done;
+    let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
+    let v = Cvec.make total in
+    for idx = 0 to total - 1 do
+      if tags.(idx) = t0 then v.(idx) <- amp
+    done;
+    let st = State.of_amplitudes dims v in
+    let st = Qft.forward st ~wires in
+    State.measure_all rng st
+
+let sample rng ~dims ~f ~queries = sampler ~dims ~f ~queries rng
+
+let sampler_state_valued ~dims ~f ~queries =
+  (* Reduce the state-valued oracle to the tag case by canonicalising
+     each returned vector to a bucket id: the promise (equal within a
+     coset, orthogonal across) makes near-equality a safe test. *)
+  let reps : (int * Cvec.t) list ref = ref [] in
+  let tag_of x =
+    let v = f x in
+    let matching =
+      List.find_opt (fun (_, r) -> Cvec.approx_equal ~eps:1e-6 r v) !reps
+    in
+    match matching with
+    | Some (id, _) -> id
+    | None ->
+        let id = List.length !reps in
+        reps := (id, v) :: !reps;
+        id
+  in
+  sampler ~dims ~f:tag_of ~queries
+
+let sample_full rng ~dims ~f ~queries =
+  Query.tick queries;
+  (* Canonicalise oracle values to 0..k-1 so they fit one output wire. *)
+  let values = Hashtbl.create 64 in
+  let canon v =
+    match Hashtbl.find_opt values v with
+    | Some k -> k
+    | None ->
+        let k = Hashtbl.length values in
+        Hashtbl.add values v k;
+        k
+  in
+  List.iter (fun x -> ignore (canon (f x))) (enumerate dims);
+  let out_dim = max 1 (Hashtbl.length values) in
+  let all_dims = Array.append dims [| out_dim |] in
+  let n = Array.length dims in
+  let group_wires = List.init n (fun i -> i) in
+  let st = State.uniform dims in
+  let st = State.tensor st (State.create [| out_dim |]) in
+  let st = State.apply_oracle_add st ~in_wires:group_wires ~out_wire:n ~f:(fun x -> canon (f x)) in
+  ignore all_dims;
+  let st = Qft.forward st ~wires:group_wires in
+  let outcome, _ = State.measure rng st ~wires:group_wires in
+  outcome
+
+let annihilator_subgroup ~dims ys =
+  let r = Array.length dims in
+  let l = Array.fold_left Numtheory.Arith.lcm 1 dims in
+  let rows = List.map (fun y -> Array.init r (fun i -> y.(i) * (l / dims.(i)))) ys in
+  let m = Array.of_list rows in
+  let gens =
+    if Array.length m = 0 then List.init r (fun i -> Array.init r (fun j -> if i = j then 1 else 0))
+    else
+      Numtheory.Zmatrix.kernel_mod ~moduli:(Array.make (Array.length m) l) m
+  in
+  let reduced =
+    List.map (fun g -> Array.init r (fun i -> Numtheory.Arith.emod g.(i) dims.(i))) gens
+  in
+  (* Drop duplicates and the zero vector for tidiness. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun g ->
+      let key = Array.to_list g in
+      let zero = List.for_all (( = ) 0) key in
+      if zero || Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    reduced

@@ -1,0 +1,64 @@
+(** Abelian Fourier sampling over coset states.
+
+    This is the quantum core of every algorithm in the paper: prepare
+    [sum_x |x>|f(x)>] over an Abelian group [A = Z_{d_1} x ... x Z_{d_r}],
+    Fourier-transform the group register and measure.  The outcome is a
+    uniformly random character of [A] that is trivial on the hidden
+    subgroup [ker/period of f].
+
+    Two implementations are provided:
+
+    - {!sample} — the production fast path.  It measures the function
+      register {e first} (deferred-measurement principle: measuring the
+      two registers in either order yields the same joint
+      distribution), so it only ever materialises one
+      [|A|]-dimensional coset state instead of the
+      [|A| * #values] tensor.
+    - {!sample_full} — the reference implementation on the full tensor
+      product, used by tests to validate {!sample}.
+
+    Each call costs one oracle query: the oracle is evaluated once in
+    superposition.  The classical expansion of that superposition by
+    the simulator is *not* charged to the algorithm. *)
+
+val sample :
+  Random.State.t -> dims:int array -> f:(int array -> int) -> queries:Query.t -> int array
+(** One round of Fourier sampling; returns the measured character
+    index [y] (an element of [A] read as a character via
+    {!Qft.character}).  [f] must be constant on the cosets of some
+    subgroup [H <= A] and distinct across cosets; the result is then
+    uniform on the annihilator [H^perp]. *)
+
+val sampler :
+  dims:int array -> f:(int array -> int) -> queries:Query.t -> Random.State.t -> int array
+(** Factory form of {!sample} that evaluates the (deterministic)
+    oracle over the group once and reuses the table across samples —
+    same distribution and query accounting, much cheaper simulation
+    when many rounds are drawn from one oracle. *)
+
+val sample_full :
+  Random.State.t -> dims:int array -> f:(int array -> int) -> queries:Query.t -> int array
+(** Same distribution, computed by building the full
+    [A x range(f)] register, applying the oracle unitary, Fourier
+    transforming and measuring.  Exponentially more memory; only for
+    small [A]. *)
+
+val sampler_state_valued :
+  dims:int array ->
+  f:(int array -> Linalg.Cvec.t) ->
+  queries:Query.t ->
+  Random.State.t ->
+  int array
+(** Lemma 9 of the paper: the hiding function returns a *quantum
+    state* [|f(g)>] (a unit vector), constant on cosets of the hidden
+    subgroup and orthogonal across cosets, instead of a classical
+    tag.  The Fourier-sampling outcome distribution is identical to
+    the tag case: measuring the state register projects onto one
+    coset.  Vectors are bucketed by exact-up-to-epsilon equality
+    (cosets are promised either equal or orthogonal). *)
+
+val annihilator_subgroup : dims:int array -> int array list -> int array list
+(** [annihilator_subgroup ~dims ys] recovers generators of
+    [H = { x : chi_y(x) = 1 for all sampled y }] — the classical
+    post-processing of Fourier sampling.  Exact integer computation via
+    Smith normal form. *)

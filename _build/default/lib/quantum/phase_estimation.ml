@@ -1,0 +1,50 @@
+open Linalg
+
+let estimate rng ~precision_bits:t ~unitary ~eigenstate =
+  if not (Cmat.is_unitary ~eps:1e-8 unitary) then
+    invalid_arg "Phase_estimation.estimate: not unitary";
+  let dim = Cmat.rows unitary in
+  if Cvec.dim eigenstate <> dim then
+    invalid_arg "Phase_estimation.estimate: eigenstate dimension mismatch";
+  let q = 1 lsl t in
+  (* Counting register |c> tensor eigenstate; controlled-U^c collapses
+     to sum_c e^(2 pi i c phi) |c> |psi> because |psi> is an
+     eigenvector, so we track only the counting register's amplitudes
+     and apply the phase kick-back directly.  The eigenvalue phase is
+     computed by actually applying the unitary (U^c |psi> compared
+     against |psi>), not by trusting the caller. *)
+  let u_psi = Cmat.apply unitary (Cvec.normalize eigenstate) in
+  let psi = Cvec.normalize eigenstate in
+  (* eigenvalue = <psi | U psi>; for a true eigenvector |<psi|U psi>| = 1 *)
+  let eigenvalue = Cvec.dot psi u_psi in
+  if Float.abs (Cx.abs eigenvalue -. 1.0) > 1e-6 then
+    invalid_arg "Phase_estimation.estimate: not an eigenvector";
+  let amps = Array.make q Cx.zero in
+  let scale = 1.0 /. sqrt (float_of_int q) in
+  let acc = ref Cx.one in
+  for c = 0 to q - 1 do
+    (* amplitude of |c> after kick-back: eigenvalue^c / sqrt q *)
+    amps.(c) <- Cx.scale scale !acc;
+    acc := Cx.mul !acc eigenvalue
+  done;
+  (* inverse QFT on the counting register, then measure *)
+  let st = State.of_amplitudes [| q |] amps in
+  let st = State.apply_dft st ~wire:0 ~inverse:true in
+  let outcome = State.measure_all rng st in
+  float_of_int outcome.(0) /. float_of_int q
+
+let estimate_exact rng ~precision_bits ~unitary ~eigenstate ~trials =
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to trials do
+    let phi = estimate rng ~precision_bits ~unitary ~eigenstate in
+    Hashtbl.replace counts phi (1 + Option.value ~default:0 (Hashtbl.find_opt counts phi))
+  done;
+  let best = ref 0.0 and best_count = ref 0 in
+  Hashtbl.iter
+    (fun phi c ->
+      if c > !best_count then begin
+        best := phi;
+        best_count := c
+      end)
+    counts;
+  !best

@@ -1,0 +1,34 @@
+(** Kitaev-style quantum phase estimation.
+
+    The paper's lineage runs through Kitaev's Abelian stabilizer
+    algorithm [17] and Mosca–Ekert's eigenvalue-estimation view of the
+    HSP [22]: period finding is phase estimation of the group's shift
+    operator.  This module implements the textbook circuit — a
+    [t]-qubit counting register, controlled powers of the unitary, an
+    inverse QFT — against an explicit eigenvector, and is used by
+    tests to cross-validate {!Shor}'s direct Fourier-sampling
+    simulation. *)
+
+val estimate :
+  Random.State.t ->
+  precision_bits:int ->
+  unitary:Linalg.Cmat.t ->
+  eigenstate:Linalg.Cvec.t ->
+  float
+(** [estimate rng ~precision_bits:t ~unitary ~eigenstate] runs phase
+    estimation and returns the measured phase [c / 2^t] in [0, 1).
+    If [eigenstate] is an eigenvector of [unitary] with eigenvalue
+    [e^(2 pi i phi)], the outcome is the best [t]-bit approximation of
+    [phi] with probability at least [4 / pi^2].
+    @raise Invalid_argument if the matrix is not unitary or the
+    eigenstate dimension mismatches. *)
+
+val estimate_exact :
+  Random.State.t ->
+  precision_bits:int ->
+  unitary:Linalg.Cmat.t ->
+  eigenstate:Linalg.Cvec.t ->
+  trials:int ->
+  float
+(** Repeat {!estimate} and return the most frequent outcome — a
+    Las Vegas sharpening for exactly representable phases. *)

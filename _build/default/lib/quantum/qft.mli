@@ -1,0 +1,22 @@
+(** Quantum Fourier transform over finite Abelian groups.
+
+    For [A = Z_{d_1} x ... x Z_{d_r}] represented as a register whose
+    wire [i] has dimension [d_i], the QFT over [A] factors as the
+    per-wire DFTs.  This covers every Fourier transform the paper
+    needs: all its algorithms reduce to Fourier sampling over Abelian
+    groups (the point of the paper is to avoid non-Abelian transforms). *)
+
+val forward : State.t -> wires:int list -> State.t
+(** Apply the DFT of the appropriate dimension to each listed wire. *)
+
+val backward : State.t -> wires:int list -> State.t
+(** Inverse QFT on each listed wire. *)
+
+val character : dims:int array -> int array -> int array -> Linalg.Cx.t
+(** [character ~dims y x] is the value at [x] of the character indexed
+    by [y] of the group [Z_dims(0) x ...]:
+    [prod_i exp(2 pi i x_i y_i / d_i)]. *)
+
+val character_is_trivial_on : dims:int array -> int array -> int array -> bool
+(** [character_is_trivial_on ~dims y h] tests [chi_y(h) = 1] exactly
+    (integer arithmetic, no floats). *)

@@ -1,0 +1,6 @@
+type t = { mutable count : int }
+
+let create () = { count = 0 }
+let tick t = t.count <- t.count + 1
+let count t = t.count
+let reset t = t.count <- 0

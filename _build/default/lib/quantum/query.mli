@@ -1,0 +1,16 @@
+(** Oracle query accounting.
+
+    Every quantum algorithm in this library touches its problem input
+    only through oracles.  A [Query.t] counter is threaded through the
+    oracles so experiments can report oracle complexity separately from
+    wall-clock simulation cost.  One *superposition* evaluation of an
+    oracle counts as one query, matching the query model of the paper
+    (the simulator's classical expansion of the superposition is an
+    artifact of simulation, not of the algorithm). *)
+
+type t
+
+val create : unit -> t
+val tick : t -> unit
+val count : t -> int
+val reset : t -> unit

@@ -1,0 +1,75 @@
+(** Pure state-vector simulation of a register of qudits.
+
+    A register is a tuple of wires; wire [i] carries a qudit of
+    dimension [dims.(i)].  The joint state is a dense complex vector of
+    dimension [prod dims], indexed in mixed radix with wire 0 most
+    significant.  This is the ground-truth simulator: exact, exponential
+    in memory, used directly for small instances and as the reference
+    implementation that validates the structured fast paths
+    ({!Coset_state}). *)
+
+type t
+
+val create : int array -> t
+(** [create dims] is the all-zeros basis state [|0,...,0>].
+    @raise Invalid_argument if any dimension is [< 1] or the total
+    dimension overflows a sane bound. *)
+
+val of_basis : int array -> int array -> t
+(** [of_basis dims x] is the basis state [|x>]. *)
+
+val of_amplitudes : int array -> Linalg.Cvec.t -> t
+(** Wraps (a copy of) an amplitude vector; normalises. *)
+
+val dims : t -> int array
+val num_wires : t -> int
+val total_dim : t -> int
+val amplitudes : t -> Linalg.Cvec.t
+(** A copy of the amplitude vector. *)
+
+val encode : int array -> int array -> int
+(** [encode dims x] is the mixed-radix index of the basis tuple [x]. *)
+
+val decode : int array -> int -> int array
+(** Inverse of {!encode}. *)
+
+val tensor : t -> t -> t
+
+val uniform : int array -> t
+(** Uniform superposition over all basis states. *)
+
+val apply_wire : t -> wire:int -> Linalg.Cmat.t -> t
+(** Apply a [d x d] unitary to a single wire of dimension [d]. *)
+
+val apply_wires : t -> wires:int list -> Linalg.Cmat.t -> t
+(** Apply a unitary acting jointly on the listed wires (in the given
+    order, most significant first).  The matrix dimension must be the
+    product of the wires' dimensions. *)
+
+val apply_dft : t -> wire:int -> inverse:bool -> t
+(** The DFT {!Linalg.Cmat.dft} on one wire, in O(d log d) per fibre
+    (radix-2 or Bluestein FFT, by dimension). *)
+
+val apply_basis_map : t -> (int array -> int array) -> t
+(** Relabel basis states by a bijection on tuples (a classical
+    reversible circuit).  Bijectivity is checked. *)
+
+val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array -> int) -> t
+(** The standard oracle [|x>|y> -> |x>|y + f(x) mod d>] where [d] is
+    the output wire's dimension and [x] ranges over the values of
+    [in_wires]. *)
+
+val probabilities : t -> wires:int list -> float array
+(** Marginal outcome distribution of measuring the listed wires, as a
+    dense array indexed by the mixed-radix encoding of the outcome over
+    those wires' dimensions. *)
+
+val measure : Random.State.t -> t -> wires:int list -> int array * t
+(** Projectively measure the listed wires: returns the outcome tuple
+    and the collapsed, renormalised post-measurement state. *)
+
+val measure_all : Random.State.t -> t -> int array
+
+val norm : t -> float
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

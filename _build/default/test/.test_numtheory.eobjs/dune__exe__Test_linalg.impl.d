@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cmat Cvec Cx Fft Float Gen Gf2 Linalg List Printf QCheck QCheck_alcotest Random Test

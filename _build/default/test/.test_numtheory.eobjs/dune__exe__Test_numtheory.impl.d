@@ -1,0 +1,1 @@
+test/test_numtheory.ml: Alcotest Arith Array Contfrac Float Hashtbl List Numtheory Primes Printf QCheck QCheck_alcotest Random Test Zmatrix

@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Array Circuit Cmat Coset_state Cvec Cx Float Gates Hashtbl Linalg List Numtheory Phase_estimation Printf Qft Quantum Query Random Shor State
