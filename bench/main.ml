@@ -10,6 +10,10 @@
      dune exec bench/main.exe -- e3 e5     -- selected experiments
      dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
 
+   Besides the text tables, a full or selected run writes every table
+   to BENCH_<rev>.json (rev = HSP_BENCH_REV, else the git HEAD, else
+   "worktree") so runs are diffable across revisions by machine.
+
    Absolute numbers are simulator-dependent; the claims under test are
    the growth shapes (poly(log |G|) or poly(small parameter) for the
    quantum algorithms vs Theta(|G|) classically). *)
@@ -19,21 +23,85 @@ open Hsp
 
 let rng = Random.State.make [| 20260705 |]
 
+(* Every header/row pair is mirrored into [tables] so the whole run can
+   be dumped as machine-readable JSON at exit. *)
+let tables : (string * string list * string list list ref) list ref = ref []
+
 let header title columns =
   Printf.printf "\n== %s ==\n" title;
   Printf.printf "%s\n" (String.concat " | " columns);
-  Printf.printf "%s\n" (String.make (String.length (String.concat " | " columns)) '-')
+  Printf.printf "%s\n" (String.make (String.length (String.concat " | " columns)) '-');
+  tables := (title, List.map String.trim columns, ref []) :: !tables
 
-let row cells = Printf.printf "%s\n%!" (String.concat " | " cells)
+let row cells =
+  Printf.printf "%s\n%!" (String.concat " | " cells);
+  match !tables with
+  | (_, _, rows) :: _ -> rows := List.map String.trim cells :: !rows
+  | [] -> ()
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let bench_rev () =
+  match Sys.getenv_opt "HSP_BENCH_REV" with
+  | Some r when r <> "" -> r
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match (Unix.close_process_in ic, line) with
+        | Unix.WEXITED 0, r when r <> "" -> r
+        | _ -> "worktree"
+      with _ -> "worktree")
+
+let write_json () =
+  let rev = bench_rev () in
+  let file = Printf.sprintf "BENCH_%s.json" rev in
+  let oc = open_out file in
+  let strings cells =
+    String.concat ", " (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) cells)
+  in
+  Printf.fprintf oc "{\n  \"rev\": \"%s\",\n  \"harness\": \"bench/main.exe\",\n  \"tables\": [" (json_escape rev);
+  let first = ref true in
+  List.iter
+    (fun (title, columns, rows) ->
+      if not !first then output_string oc ",";
+      first := false;
+      Printf.fprintf oc "\n    {\n      \"title\": \"%s\",\n      \"columns\": [%s],\n      \"rows\": ["
+        (json_escape title) (strings columns);
+      let first_row = ref true in
+      List.iter
+        (fun cells ->
+          if not !first_row then output_string oc ",";
+          first_row := false;
+          Printf.fprintf oc "\n        [%s]" (strings cells))
+        (List.rev !rows);
+      Printf.fprintf oc "\n      ]\n    }")
+    (List.rev !tables);
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d tables)\n" file (List.length !tables)
 
 let fmt_i = Printf.sprintf "%8d"
 let fmt_s = Printf.sprintf "%8s"
 let fmt_f = Printf.sprintf "%8.3f"
 
+(* Wall clock, not [Sys.time]: CPU seconds undercount blocked time and
+   the JSON output is meant to be comparable to what a user observes. *)
 let time_it f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let x = f () in
-  (x, Sys.time () -. t0)
+  (x, Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* E1: Abelian HSP (Theorem 3 / Lemma 9) — Simon instances            *)
@@ -83,7 +151,7 @@ let e1 () =
   let inst = Instances.simon ~n ~mask in
   let dims = Array.make n 2 in
   let f tuple = inst.Instances.hiding.Hiding.raw tuple in
-  let draw = Quantum.Coset_state.sampler ~dims ~f ~queries:inst.Instances.hiding.Hiding.quantum in
+  let draw = Quantum.Coset_state.sampler ~dims ~f ~queries:inst.Instances.hiding.Hiding.quantum () in
   List.iter
     (fun rounds ->
       let hits = ref 0 in
@@ -522,6 +590,64 @@ let e9 () =
       fmt_f sec ]
 
 (* ------------------------------------------------------------------ *)
+(* E10: dense vs sparse state-vector backends                         *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header
+    "E10: dense vs sparse backend — planted Abelian HSP on Z_d1 x Z_d2, H = prod m_i Z_di"
+    [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "q-quant"; fmt_s "ok"; fmt_s "sec" ];
+  let solve_planted ~dims ~moduli ~backend =
+    let r = Array.length dims in
+    let coset x0 =
+      let rec go i acc =
+        if i < 0 then acc
+        else
+          let reps = dims.(i) / moduli.(i) in
+          let choices =
+            List.init reps (fun k -> (x0.(i) + (k * moduli.(i))) mod dims.(i))
+          in
+          go (i - 1)
+            (List.concat_map (fun suffix -> List.map (fun c -> c :: suffix) choices) acc)
+      in
+      List.map Array.of_list (go (r - 1) [ [] ])
+    in
+    let queries = Quantum.Query.create () in
+    let draw = Quantum.Coset_state.sampler_with_support ~backend ~dims ~coset ~queries () in
+    let in_h x = Array.for_all2 (fun xi m -> xi mod m = 0) x moduli in
+    let f x = Quantum.Backend.encode moduli (Array.map2 (fun xi m -> xi mod m) x moduli) in
+    let (gens, _), sec =
+      time_it (fun () ->
+          Abelian_hsp.solve_dims rng ~draw ~dims ~f ~quantum:queries ~verify:in_h ())
+    in
+    let ok = gens <> [] && List.for_all in_h gens in
+    (ok, Quantum.Query.count queries, sec)
+  in
+  let total dims = Array.fold_left ( * ) 1 dims in
+  let show dims = String.concat "x" (List.map string_of_int (Array.to_list dims)) in
+  List.iter
+    (fun (dims, moduli) ->
+      List.iter
+        (fun backend ->
+          if backend = Quantum.Backend.Dense && total dims > Quantum.State.max_total_dim then
+            row
+              [ fmt_s (show dims); fmt_i (total dims); fmt_s "dense"; fmt_s "-"; fmt_s "-";
+                fmt_s "(>cap)" ]
+          else begin
+            let ok, q, sec = solve_planted ~dims ~moduli ~backend in
+            row
+              [ fmt_s (show dims); fmt_i (total dims);
+                fmt_s (Quantum.Backend.choice_to_string backend); fmt_i q;
+                fmt_s (string_of_bool ok); fmt_f sec ]
+          end)
+        [ Quantum.Backend.Dense; Quantum.Backend.Sparse ])
+    [
+      ([| 64; 64 |], [| 8; 8 |]);
+      ([| 512; 512 |], [| 16; 32 |]);
+      ([| 8192; 8192 |], [| 64; 128 |]);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment            *)
 (* ------------------------------------------------------------------ *)
 
@@ -589,9 +715,9 @@ let micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9) ] in
+  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10) ] in
   Printf.printf "HSP benchmark harness — reproduces EXPERIMENTS.md (seed fixed)\n";
-  match args with
+  (match args with
   | [] ->
       List.iter (fun (_, f) -> f ()) all;
       micro ()
@@ -603,4 +729,5 @@ let () =
           | Some f -> f ()
           | None when name = "micro" -> micro ()
           | None -> Printf.printf "unknown experiment %s\n" name)
-        selected
+        selected);
+  if !tables <> [] then write_json ()

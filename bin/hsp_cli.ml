@@ -1,6 +1,7 @@
 (* Command-line interface to the HSP solvers.
 
      hsp solve-simon --n 8 --mask 10110010
+     hsp solve-abelian --dims 8192,8192 --moduli 64,128 --backend sparse
      hsp solve-dihedral --n 24 --d 4
      hsp solve-heisenberg --p 5
      hsp solve-wreath --k 3
@@ -10,7 +11,10 @@
      hsp order --modulus 77 --base 2
 
    Every command prints the answer, the oracle-query accounting, and a
-   correctness check against the planted ground truth. *)
+   correctness check against the planted ground truth.  A global
+   [--backend dense|sparse|auto] flag selects the state-vector
+   simulation backend (default: the HSP_BACKEND environment variable,
+   then auto). *)
 
 open Groups
 open Hsp
@@ -21,6 +25,32 @@ let rng_of_seed seed = Random.State.make [| seed |]
 let seed_arg =
   let doc = "PRNG seed (all algorithms are Las Vegas; the answer is always verified)." in
   Arg.(value & opt int 2026 & info [ "seed" ] ~doc)
+
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match Quantum.Backend.choice_of_string s with
+          | Some c -> Ok c
+          | None -> Error (`Msg (Printf.sprintf "unknown backend %S (expected dense, sparse or auto)" s))),
+        fun fmt c -> Format.pp_print_string fmt (Quantum.Backend.choice_to_string c) )
+  in
+  let doc =
+    "State-vector simulation backend: $(b,dense) (exact array, capped at 2^24 amplitudes),      $(b,sparse) (hashtable of nonzero amplitudes, no cap) or $(b,auto) (dense when the      register fits, sparse beyond).  Defaults to the $(b,HSP_BACKEND) environment variable,      then $(b,auto)."
+  in
+  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~doc)
+
+let set_backend = function None -> () | Some c -> Quantum.Backend.set_default c
+
+(* Invalid_argument out of the solvers is user-facing misconfiguration
+   (bad HSP_BACKEND value, a register the chosen backend cannot hold,
+   invalid instance parameters), not an internal error — report it as
+   such instead of letting cmdliner print an uncaught-exception box. *)
+let guard f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "hsp: %s\n" msg;
+    2
 
 let report inst gens =
   let ok = Group.subgroup_equal inst.Instances.group gens inst.Instances.hidden_gens in
@@ -40,7 +70,9 @@ let simon_cmd =
   let mask_arg =
     Arg.(value & opt string "101010" & info [ "mask" ] ~doc:"Secret bit mask, e.g. 10110.")
   in
-  let run seed n mask =
+  let run backend seed n mask =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     let mask_bits =
       Array.init (String.length mask) (fun i -> Char.code mask.[i] - Char.code '0')
@@ -58,14 +90,16 @@ let simon_cmd =
   in
   Cmd.v
     (Cmd.info "solve-simon" ~doc:"Solve Simon's problem (Abelian HSP on Z_2^n).")
-    Term.(const run $ seed_arg $ n_arg $ mask_arg)
+    Term.(const run $ backend_arg $ seed_arg $ n_arg $ mask_arg)
 
 let dihedral_cmd =
   let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"D_n: the n-gon.") in
   let d_arg =
     Arg.(value & opt int 4 & info [ "d" ] ~doc:"Hidden normal rotation subgroup <s^d>; d | n.")
   in
-  let run seed n d =
+  let run backend seed n d =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "Hidden normal subgroup <s^%d> of D_%d (Theorem 8)\n" d n;
     let inst = Instances.dihedral_rotation ~n ~d in
@@ -75,11 +109,13 @@ let dihedral_cmd =
   in
   Cmd.v
     (Cmd.info "solve-dihedral" ~doc:"Find a hidden normal rotation subgroup of D_n (Theorem 8).")
-    Term.(const run $ seed_arg $ n_arg $ d_arg)
+    Term.(const run $ backend_arg $ seed_arg $ n_arg $ d_arg)
 
 let heisenberg_cmd =
   let p_arg = Arg.(value & opt int 3 & info [ "p" ] ~doc:"Prime p; the group is H_p, order p^3.") in
-  let run seed p =
+  let run backend seed p =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in the extra-special group H_%d (Theorem 11 / Corollary 12)\n" p;
     let inst = Instances.heisenberg_random rng ~p ~m:1 in
@@ -89,11 +125,13 @@ let heisenberg_cmd =
   in
   Cmd.v
     (Cmd.info "solve-heisenberg" ~doc:"Solve a random HSP instance in an extra-special p-group.")
-    Term.(const run $ seed_arg $ p_arg)
+    Term.(const run $ backend_arg $ seed_arg $ p_arg)
 
 let wreath_cmd =
   let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"The group is Z_2^k wr Z_2.") in
-  let run seed k =
+  let run backend seed k =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in Z_2^%d wr Z_2 (Theorem 13, general case)\n" k;
     let inst = Instances.wreath_random rng ~k in
@@ -106,12 +144,14 @@ let wreath_cmd =
   in
   Cmd.v
     (Cmd.info "solve-wreath" ~doc:"Solve a random HSP instance in a wreath product (Theorem 13).")
-    Term.(const run $ seed_arg $ k_arg)
+    Term.(const run $ backend_arg $ seed_arg $ k_arg)
 
 let semidirect_cmd =
   let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Base Z_2^n.") in
   let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Cyclic top Z_m; m | n.") in
-  let run seed n m =
+  let run backend seed n m =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in Z_2^%d x| Z_%d (Theorem 13, cyclic factor)\n" n m;
     let inst = Instances.semidirect_random rng ~n ~m in
@@ -126,11 +166,135 @@ let semidirect_cmd =
   Cmd.v
     (Cmd.info "solve-semidirect"
        ~doc:"Solve a random HSP instance in Z_2^n x| Z_m (Theorem 13, polynomial case).")
-    Term.(const run $ seed_arg $ n_arg $ m_arg)
+    Term.(const run $ backend_arg $ seed_arg $ n_arg $ m_arg)
+
+let abelian_cmd =
+  let dims_arg =
+    Arg.(
+      value
+      & opt string "8192,8192"
+      & info [ "dims" ] ~doc:"Comma-separated cyclic factors: the group is Z_d1 x ... x Z_dr.")
+  in
+  let moduli_arg =
+    Arg.(
+      value
+      & opt string "64,128"
+      & info [ "moduli" ]
+          ~doc:
+            "Comma-separated m_i with m_i | d_i; the hidden subgroup is \
+             H = m_1 Z_d1 x ... x m_r Z_dr and the oracle is f(x) = (x_i mod m_i).")
+  in
+  let parse_ints label s =
+    try
+      let parts = String.split_on_char ',' s in
+      if parts = [] then invalid_arg label;
+      Array.of_list (List.map (fun t -> int_of_string (String.trim t)) parts)
+    with _ -> invalid_arg (Printf.sprintf "%s: expected comma-separated integers, got %S" label s)
+  in
+  let run backend seed dims_s moduli_s =
+    set_backend backend;
+    guard @@ fun () ->
+    let rng = rng_of_seed seed in
+    let dims = parse_ints "--dims" dims_s in
+    let moduli = parse_ints "--moduli" moduli_s in
+    let r = Array.length dims in
+    if Array.length moduli <> r then begin
+      Printf.eprintf "error: --dims and --moduli must have the same length\n";
+      exit 2
+    end;
+    Array.iteri
+      (fun i m ->
+        if m < 1 || dims.(i) < 1 || dims.(i) mod m <> 0 then begin
+          Printf.eprintf "error: need 1 <= m_%d and m_%d | d_%d (got m=%d, d=%d)\n" i i i m
+            dims.(i);
+          exit 2
+        end)
+      moduli;
+    let total = Quantum.Backend.total_of dims in
+    let h_order = Array.fold_left ( * ) 1 (Array.mapi (fun i m -> dims.(i) / m) moduli) in
+    let show a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+    Printf.printf "Abelian HSP on Z_{%s}, |G| = %d%s\n" (show dims) total
+      (if total > Quantum.State.max_total_dim then " (beyond the dense 2^24 cap)" else "");
+    Printf.printf "hidden H = prod m_i Z_{d_i}, moduli (%s), |H| = %d\n" (show moduli) h_order;
+    Printf.printf "backend         : %s\n"
+      (Quantum.Backend.choice_to_string (Quantum.Backend.default ()));
+    (* The planted instance knows H, so it can hand the simulator the
+       coset of a point directly; cost per round is O(|H|) instead of
+       the O(|G|) oracle expansion (still one quantum query). *)
+    let coset x0 =
+      let rec go i acc =
+        if i < 0 then acc
+        else
+          let reps = dims.(i) / moduli.(i) in
+          let choices =
+            List.init reps (fun k -> (x0.(i) + (k * moduli.(i))) mod dims.(i))
+          in
+          go (i - 1)
+            (List.concat_map (fun suffix -> List.map (fun c -> c :: suffix) choices) acc)
+      in
+      List.map Array.of_list (go (r - 1) [ [] ])
+    in
+    let queries = Quantum.Query.create () in
+    let draw = Quantum.Coset_state.sampler_with_support ~dims ~coset ~queries () in
+    let in_h x = Array.for_all2 (fun xi m -> xi mod m = 0) x moduli in
+    let f x = Quantum.Backend.encode moduli (Array.map2 (fun xi m -> xi mod m) x moduli) in
+    let t0 = Unix.gettimeofday () in
+    let gens, outcome =
+      Abelian_hsp.solve_dims rng ~draw ~dims ~f ~quantum:queries ~verify:in_h ()
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    List.iter (fun g -> Printf.printf "generator: (%s)\n" (show g)) gens;
+    (* Ground truth is known in closed form: the recovered generators
+       must lie in H (checked by [verify] already) and generate all of
+       it, i.e. their closure under addition mod dims has order |H|. *)
+    let closure_order gens =
+      let tbl = Hashtbl.create (min h_order 4096) in
+      let zero = Array.make r 0 in
+      Hashtbl.replace tbl (Array.to_list zero) ();
+      let frontier = ref [ zero ] in
+      while !frontier <> [] do
+        let next = ref [] in
+        List.iter
+          (fun x ->
+            List.iter
+              (fun g ->
+                let y = Array.init r (fun i -> (x.(i) + g.(i)) mod dims.(i)) in
+                let key = Array.to_list y in
+                if not (Hashtbl.mem tbl key) then begin
+                  Hashtbl.replace tbl key ();
+                  next := y :: !next
+                end)
+              gens)
+          !frontier;
+        frontier := !next
+      done;
+      Hashtbl.length tbl
+    in
+    let ok =
+      List.for_all in_h gens
+      && (h_order > 1 lsl 22 (* closure check only when H is enumerable *)
+          || closure_order gens = h_order)
+    in
+    Printf.printf "rounds          : %d\n" outcome.Abelian_hsp.rounds;
+    Printf.printf "quantum queries : %d\n" (Quantum.Query.count queries);
+    Printf.printf "seconds         : %.3f\n" seconds;
+    Printf.printf "correct         : %b\n" ok;
+    if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "solve-abelian"
+       ~doc:
+         "Solve a planted Abelian HSP on Z_d1 x ... x Z_dr with hidden subgroup \
+          prod m_i Z_di.  With --backend sparse (or auto), group sizes far beyond the \
+          dense 2^24 amplitude cap are simulable, because coset states and their Fourier \
+          transforms have support |H| and |G|/|H| restricted to a small product grid.")
+    Term.(const run $ backend_arg $ seed_arg $ dims_arg $ moduli_arg)
 
 let dicyclic_cmd =
   let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"The group is Q_4n.") in
-  let run seed n =
+  let run backend seed n =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in the dicyclic group Q_%d (Theorem 11; |G'| = %d)\n" (4 * n) n;
     let inst = Instances.dicyclic_random rng ~n in
@@ -139,12 +303,14 @@ let dicyclic_cmd =
   in
   Cmd.v
     (Cmd.info "solve-dicyclic" ~doc:"Solve a random HSP instance in a dicyclic group (Theorem 11).")
-    Term.(const run $ seed_arg $ n_arg)
+    Term.(const run $ backend_arg $ seed_arg $ n_arg)
 
 let frobenius_cmd =
   let p_arg = Arg.(value & opt int 7 & info [ "p" ] ~doc:"Prime base Z_p.") in
   let q_arg = Arg.(value & opt int 3 & info [ "q" ] ~doc:"Prime top Z_q; q | p-1.") in
-  let run seed p q =
+  let run backend seed p q =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "Hidden translation subgroup of the Frobenius group Z_%d x| Z_%d (Theorem 8)\n"
       p q;
@@ -156,11 +322,13 @@ let frobenius_cmd =
   Cmd.v
     (Cmd.info "solve-frobenius"
        ~doc:"Find the hidden normal translation subgroup of a Frobenius group (Theorem 8).")
-    Term.(const run $ seed_arg $ p_arg $ q_arg)
+    Term.(const run $ backend_arg $ seed_arg $ p_arg $ q_arg)
 
 let factor_cmd =
   let n_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
-  let run seed n =
+  let run backend seed n =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     match Quantum.Shor.factor rng n with
     | Some (a, b) ->
@@ -175,13 +343,15 @@ let factor_cmd =
   in
   Cmd.v
     (Cmd.info "factor" ~doc:"Factor an integer with simulated Shor order finding.")
-    Term.(const run $ seed_arg $ n_arg)
+    Term.(const run $ backend_arg $ seed_arg $ n_arg)
 
 let dlog_cmd =
   let p_arg = Arg.(value & opt int 101 & info [ "p" ] ~doc:"Prime modulus.") in
   let g_arg = Arg.(value & opt int 2 & info [ "g" ] ~doc:"Base.") in
   let h_arg = Arg.(value & opt int 55 & info [ "target" ] ~doc:"Target element h.") in
-  let run seed p g h =
+  let run backend seed p g h =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     match Dlog.discrete_log rng ~p ~g ~h with
     | Some l ->
@@ -193,12 +363,14 @@ let dlog_cmd =
   in
   Cmd.v
     (Cmd.info "dlog" ~doc:"Discrete logarithm in Z_p^* via Abelian Fourier sampling.")
-    Term.(const run $ seed_arg $ p_arg $ g_arg $ h_arg)
+    Term.(const run $ backend_arg $ seed_arg $ p_arg $ g_arg $ h_arg)
 
 let order_cmd =
   let modulus_arg = Arg.(value & opt int 77 & info [ "modulus" ] ~doc:"Modulus N.") in
   let base_arg = Arg.(value & opt int 2 & info [ "base" ] ~doc:"Element of Z_N^*.") in
-  let run seed modulus base =
+  let run backend seed modulus base =
+    set_backend backend;
+    guard @@ fun () ->
     let rng = rng_of_seed seed in
     let queries = Quantum.Query.create () in
     match
@@ -216,7 +388,7 @@ let order_cmd =
   in
   Cmd.v
     (Cmd.info "order" ~doc:"Multiplicative order via simulated Shor period finding.")
-    Term.(const run $ seed_arg $ modulus_arg $ base_arg)
+    Term.(const run $ backend_arg $ seed_arg $ modulus_arg $ base_arg)
 
 let () =
   (* HSP_DEBUG=1 turns on solver-internal debug logging *)
@@ -230,6 +402,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simon_cmd; dihedral_cmd; heisenberg_cmd; wreath_cmd; semidirect_cmd;
+            simon_cmd; abelian_cmd; dihedral_cmd; heisenberg_cmd; wreath_cmd; semidirect_cmd;
             dicyclic_cmd; frobenius_cmd; factor_cmd; dlog_cmd; order_cmd;
           ]))

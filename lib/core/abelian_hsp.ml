@@ -2,7 +2,7 @@ open Groups
 
 type outcome = { rounds : int; characters : int array list }
 
-let solve_dims rng ~dims ~f ~quantum ?verify () =
+let solve_dims rng ?backend ?draw ~dims ~f ~quantum ?verify () =
   let verify =
     match verify with Some v -> v | None -> fun x -> f x = f (Array.make (Array.length dims) 0)
   in
@@ -12,7 +12,11 @@ let solve_dims rng ~dims ~f ~quantum ?verify () =
     Array.fold_left (fun acc d -> acc + Numtheory.Arith.ilog2 (max 2 d) + 1) 4 dims
   in
   let max_batches = 32 in
-  let draw = Quantum.Coset_state.sampler ~dims ~f ~queries:quantum in
+  let draw =
+    match draw with
+    | Some d -> d
+    | None -> Quantum.Coset_state.sampler ?backend ~dims ~f ~queries:quantum ()
+  in
   let rec go batches samples =
     if batches > max_batches then
       invalid_arg "Abelian_hsp.solve_dims: sampling failed to converge (is f a hiding function?)";

@@ -59,7 +59,7 @@ let order_mod_generated_watrous rng (g : 'a Group.t) n_gens x ~queries =
     powers.(k) <- g.Group.mul powers.(k - 1) x
   done;
   let f (t : int array) = coset_state powers.(t.(0)) in
-  let draw = Quantum.Coset_state.sampler_state_valued ~dims:[| m |] ~f ~queries in
+  let draw = Quantum.Coset_state.sampler_state_valued ~dims:[| m |] ~f ~queries () in
   let n_table = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace n_table (g.Group.repr e) ()) n_elems;
   let in_n y = Hashtbl.mem n_table (g.Group.repr y) in

@@ -3,6 +3,7 @@ open Groups
 type report = {
   instance : string;
   algorithm : string;
+  backend : string;
   ok : bool;
   classical_queries : int;
   quantum_queries : int;
@@ -11,16 +12,24 @@ type report = {
   subgroup_order : int;
 }
 
-let run ~algorithm (inst : 'a Instances.t) ~solver =
+let run ?backend ~algorithm (inst : 'a Instances.t) ~solver =
   Hiding.reset inst.Instances.hiding;
-  let t0 = Sys.time () in
+  let backend =
+    Quantum.Backend.choice_to_string
+      (match backend with Some c -> c | None -> Quantum.Backend.default ())
+  in
+  (* Wall clock, not [Sys.time]: the solvers are single-threaded but we
+     want the number a user experiences, and CPU seconds silently
+     undercount any time spent blocked. *)
+  let t0 = Unix.gettimeofday () in
   let gens = solver inst in
-  let seconds = Sys.time () -. t0 in
+  let seconds = Unix.gettimeofday () -. t0 in
   let classical_queries, quantum_queries = Hiding.total_queries inst.Instances.hiding in
   let ok = Group.subgroup_equal inst.Instances.group gens inst.Instances.hidden_gens in
   {
     instance = inst.Instances.name;
     algorithm;
+    backend;
     ok;
     classical_queries;
     quantum_queries;
@@ -30,18 +39,18 @@ let run ~algorithm (inst : 'a Instances.t) ~solver =
   }
 
 let pp_report fmt r =
-  Format.fprintf fmt "%-28s %-18s %-5s |G|=%-7d |H|=%-5d q=%-6d c=%-8d %.3fs" r.instance
-    r.algorithm
+  Format.fprintf fmt "%-28s %-18s %-6s %-5s |G|=%-7d |H|=%-5d q=%-6d c=%-8d %.3fs" r.instance
+    r.algorithm r.backend
     (if r.ok then "ok" else "FAIL")
     r.group_order r.subgroup_order r.quantum_queries r.classical_queries r.seconds
 
 let pp_table fmt reports =
-  Format.fprintf fmt "@[<v>%-28s %-18s %-5s %-9s %-7s %-8s %-10s %s@,"
-    "instance" "algorithm" "ok" "|G|" "|H|" "quantum" "classical" "seconds";
+  Format.fprintf fmt "@[<v>%-28s %-18s %-6s %-5s %-9s %-7s %-8s %-10s %s@,"
+    "instance" "algorithm" "bcknd" "ok" "|G|" "|H|" "quantum" "classical" "seconds";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-28s %-18s %-5s %-9d %-7d %-8d %-10d %.3f@," r.instance
-        r.algorithm
+      Format.fprintf fmt "%-28s %-18s %-6s %-5s %-9d %-7d %-8d %-10d %.3f@," r.instance
+        r.algorithm r.backend
         (if r.ok then "ok" else "FAIL")
         r.group_order r.subgroup_order r.quantum_queries r.classical_queries r.seconds)
     reports;

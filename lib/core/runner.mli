@@ -4,6 +4,7 @@
 type report = {
   instance : string;
   algorithm : string;
+  backend : string;  (** simulation backend the solver ran under *)
   ok : bool;  (** returned generators generate exactly the hidden subgroup *)
   classical_queries : int;
   quantum_queries : int;
@@ -13,13 +14,16 @@ type report = {
 }
 
 val run :
+  ?backend:Quantum.Backend.choice ->
   algorithm:string ->
   'a Instances.t ->
   solver:('a Instances.t -> 'a list) ->
   report
-(** Resets the instance's counters, times the solver (CPU seconds via
-    [Sys.time]), and checks the result with
-    {!Groups.Group.subgroup_equal}. *)
+(** Resets the instance's counters, times the solver (wall-clock
+    seconds via [Unix.gettimeofday]), and checks the result with
+    {!Groups.Group.subgroup_equal}.  [backend] is recorded in the
+    report (the solver is expected to have been built with the same
+    choice); omitted, the session default is recorded. *)
 
 val pp_report : Format.formatter -> report -> unit
 

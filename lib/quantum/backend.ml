@@ -1,0 +1,109 @@
+type choice = Dense | Sparse | Auto
+
+let choice_of_string s =
+  match String.lowercase_ascii s with
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | "auto" -> Some Auto
+  | _ -> None
+
+let choice_to_string = function Dense -> "dense" | Sparse -> "sparse" | Auto -> "auto"
+
+let dense_cap = 1 lsl 24
+(* 16M amplitudes = 256 MB of complex doubles; the dense backend's
+   memory wall, and the pivot point of Auto resolution. *)
+
+let env_default =
+  lazy
+    (match Sys.getenv_opt "HSP_BACKEND" with
+    | None -> Auto
+    | Some s -> (
+        match choice_of_string s with
+        | Some c -> c
+        | None -> invalid_arg (Printf.sprintf "HSP_BACKEND: unknown backend %S" s)))
+
+let current = ref None
+let default () = match !current with Some c -> c | None -> Lazy.force env_default
+let set_default c = current := Some c
+
+let resolve ?backend ~total () =
+  match (match backend with Some c -> c | None -> default ()) with
+  | Dense -> Dense
+  | Sparse -> Sparse
+  | Auto -> if total <= dense_cap then Dense else Sparse
+
+let total_of dims =
+  Array.fold_left
+    (fun acc d ->
+      if d < 1 then invalid_arg "State: wire dimension < 1";
+      if acc > max_int / d then invalid_arg "State: register dimension overflows";
+      acc * d)
+    1 dims
+
+let encode dims x =
+  if Array.length x <> Array.length dims then invalid_arg "State.encode: arity mismatch";
+  let idx = ref 0 in
+  Array.iteri
+    (fun i xi ->
+      if xi < 0 || xi >= dims.(i) then invalid_arg "State.encode: value out of range";
+      idx := (!idx * dims.(i)) + xi)
+    x;
+  !idx
+
+let decode dims idx =
+  let n = Array.length dims in
+  let x = Array.make n 0 in
+  let rem = ref idx in
+  for i = n - 1 downto 0 do
+    x.(i) <- !rem mod dims.(i);
+    rem := !rem / dims.(i)
+  done;
+  x
+
+let strides dims =
+  let n = Array.length dims in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * dims.(i + 1)
+  done;
+  s
+
+let sample_discrete rng probs =
+  let r = Random.State.float rng 1.0 in
+  let acc = ref 0.0 and chosen = ref (Array.length probs - 1) in
+  (try
+     Array.iteri
+       (fun i p ->
+         acc := !acc +. p;
+         if r < !acc then begin
+           chosen := i;
+           raise Exit
+         end)
+       probs
+   with Exit -> ());
+  !chosen
+
+module type S = sig
+  type t
+
+  val create : int array -> t
+  val of_basis : int array -> int array -> t
+  val of_amplitudes : int array -> Linalg.Cvec.t -> t
+  val of_support : int array -> (int array * Linalg.Cx.t) list -> t
+  val dims : t -> int array
+  val num_wires : t -> int
+  val total_dim : t -> int
+  val support_size : t -> int
+  val amplitudes : t -> Linalg.Cvec.t
+  val amp_at : t -> int -> Linalg.Cx.t
+  val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
+  val tensor : t -> t -> t
+  val uniform : int array -> t
+  val apply_wires : t -> wires:int list -> Linalg.Cmat.t -> t
+  val apply_dft : t -> wire:int -> inverse:bool -> t
+  val apply_basis_map : t -> (int array -> int array) -> t
+  val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array -> int) -> t
+  val probabilities : t -> wires:int list -> float array
+  val measure : Random.State.t -> t -> wires:int list -> int array * t
+  val norm : t -> float
+end

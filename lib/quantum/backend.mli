@@ -1,0 +1,102 @@
+(** State-vector backend selection and the operations every backend
+    implements.
+
+    The simulator core ({!State}) is a thin dispatcher over two
+    interchangeable representations of a register's joint state:
+
+    - {!Backend_dense} — one contiguous complex array of dimension
+      [prod dims].  Exact, cache-friendly, and the reference
+      implementation; capped at {!dense_cap} amplitudes.
+    - {!Backend_sparse} — a hashtable of the nonzero amplitudes only.
+      Every operation costs time proportional to the support size (times
+      the local fibre dimension), not the total dimension, so registers
+      far beyond {!dense_cap} are simulable whenever the states that
+      actually arise (coset states [|xH>], subgroup states [|H>], their
+      partial Fourier transforms) stay sparse.
+
+    The backend is chosen per state at creation time: explicitly via the
+    [?backend] argument of {!State.create} and friends, globally via
+    {!set_default} (the [hsp_cli --backend] flag) or the [HSP_BACKEND]
+    environment variable ([dense], [sparse] or [auto]), and
+    automatically ([Auto]) by total dimension: dense when the register
+    fits under {!dense_cap}, sparse beyond it. *)
+
+type choice = Dense | Sparse | Auto
+
+val choice_of_string : string -> choice option
+(** Parses ["dense"], ["sparse"], ["auto"] (case-insensitive). *)
+
+val choice_to_string : choice -> string
+
+val default : unit -> choice
+(** The session-wide default used when [?backend] is omitted.  Initially
+    read from the [HSP_BACKEND] environment variable (falling back to
+    [Auto]); {!set_default} overrides it. *)
+
+val set_default : choice -> unit
+
+val dense_cap : int
+(** Maximum total dimension the dense backend accepts (2^24 amplitudes
+    = 256 MB of complex doubles).  Beyond it, [Auto] resolves to
+    [Sparse]. *)
+
+val resolve : ?backend:choice -> total:int -> unit -> choice
+(** [resolve ?backend ~total ()] turns a possibly-[Auto],
+    possibly-omitted choice into a concrete [Dense] or [Sparse]:
+    an omitted backend falls back to {!default}, and [Auto] picks
+    [Dense] iff [total <= dense_cap]. *)
+
+(** {2 Shared mixed-radix index arithmetic}
+
+    Both backends index basis states by the mixed-radix encoding of the
+    wire-value tuple, wire 0 most significant. *)
+
+val total_of : int array -> int
+(** Product of the dimensions.
+    @raise Invalid_argument if any dimension is [< 1] or the product
+    overflows the OCaml integer range.  (No [dense_cap] check: that is
+    the dense backend's own constraint.) *)
+
+val encode : int array -> int array -> int
+(** [encode dims x] is the mixed-radix index of the basis tuple [x]. *)
+
+val decode : int array -> int -> int array
+(** Inverse of {!encode}. *)
+
+val strides : int array -> int array
+(** [strides dims].(i) is the index increment of wire [i]:
+    the product of [dims.(j)] for [j > i]. *)
+
+val sample_discrete : Random.State.t -> float array -> int
+(** Draw an index distributed according to the (near-)probability
+    vector; mass deficits from floating-point error fall on the last
+    index. *)
+
+(** The operations a backend provides; {!Backend_dense} and
+    {!Backend_sparse} both satisfy this signature, and the equivalence
+    test suite runs random circuits through the two and compares
+    amplitudes. *)
+module type S = sig
+  type t
+
+  val create : int array -> t
+  val of_basis : int array -> int array -> t
+  val of_amplitudes : int array -> Linalg.Cvec.t -> t
+  val of_support : int array -> (int array * Linalg.Cx.t) list -> t
+  val dims : t -> int array
+  val num_wires : t -> int
+  val total_dim : t -> int
+  val support_size : t -> int
+  val amplitudes : t -> Linalg.Cvec.t
+  val amp_at : t -> int -> Linalg.Cx.t
+  val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
+  val tensor : t -> t -> t
+  val uniform : int array -> t
+  val apply_wires : t -> wires:int list -> Linalg.Cmat.t -> t
+  val apply_dft : t -> wire:int -> inverse:bool -> t
+  val apply_basis_map : t -> (int array -> int array) -> t
+  val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array -> int) -> t
+  val probabilities : t -> wires:int list -> float array
+  val measure : Random.State.t -> t -> wires:int list -> int array * t
+  val norm : t -> float
+end

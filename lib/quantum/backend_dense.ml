@@ -1,0 +1,208 @@
+open Linalg
+
+type t = { dims : int array; amps : Cvec.t }
+
+let total_of dims =
+  let total = Backend.total_of dims in
+  if total > Backend.dense_cap then invalid_arg "State: register too large to simulate";
+  total
+
+let create dims =
+  let total = total_of dims in
+  let amps = Cvec.make total in
+  amps.(0) <- Cx.one;
+  { dims = Array.copy dims; amps }
+
+let of_basis dims x =
+  let total = total_of dims in
+  let amps = Cvec.make total in
+  amps.(Backend.encode dims x) <- Cx.one;
+  { dims = Array.copy dims; amps }
+
+let of_amplitudes dims v =
+  let total = total_of dims in
+  if Cvec.dim v <> total then invalid_arg "State.of_amplitudes: dimension mismatch";
+  { dims = Array.copy dims; amps = Cvec.normalize (Cvec.copy v) }
+
+let of_support dims entries =
+  let total = total_of dims in
+  if entries = [] then invalid_arg "State.of_support: empty support";
+  let amps = Cvec.make total in
+  List.iter
+    (fun (x, a) ->
+      let idx = Backend.encode dims x in
+      amps.(idx) <- Cx.add amps.(idx) a)
+    entries;
+  { dims = Array.copy dims; amps = Cvec.normalize amps }
+
+let dims t = Array.copy t.dims
+let num_wires t = Array.length t.dims
+let total_dim t = Cvec.dim t.amps
+
+let support_size t =
+  let n = ref 0 in
+  Array.iter (fun z -> if Cx.norm2 z > 0.0 then incr n) t.amps;
+  !n
+
+let amplitudes t = Cvec.copy t.amps
+let amp_at t idx = t.amps.(idx)
+
+let iter_nonzero t f =
+  Array.iteri (fun idx z -> if Cx.norm2 z > 0.0 then f idx z) t.amps
+
+let tensor a b =
+  let dims = Array.append a.dims b.dims in
+  let total = total_of dims in
+  let nb = Cvec.dim b.amps in
+  let amps = Cvec.make total in
+  for i = 0 to Cvec.dim a.amps - 1 do
+    for j = 0 to nb - 1 do
+      amps.((i * nb) + j) <- Cx.mul a.amps.(i) b.amps.(j)
+    done
+  done;
+  { dims; amps }
+
+let uniform dims =
+  let total = total_of dims in
+  let a = Cx.re (1.0 /. sqrt (float_of_int total)) in
+  { dims = Array.copy dims; amps = Array.make total a }
+
+let apply_wires t ~wires m =
+  let n = Array.length t.dims in
+  List.iter (fun w -> if w < 0 || w >= n then invalid_arg "State.apply_wires: bad wire") wires;
+  let wires_arr = Array.of_list wires in
+  let k = Array.length wires_arr in
+  let seen = Array.make n false in
+  Array.iter
+    (fun w ->
+      if seen.(w) then invalid_arg "State.apply_wires: duplicate wire";
+      seen.(w) <- true)
+    wires_arr;
+  let sub_dims = Array.map (fun w -> t.dims.(w)) wires_arr in
+  let sub_total = Array.fold_left ( * ) 1 sub_dims in
+  if Cmat.rows m <> sub_total || Cmat.cols m <> sub_total then
+    invalid_arg "State.apply_wires: matrix dimension mismatch";
+  let str = Backend.strides t.dims in
+  let sub_str = Array.map (fun w -> str.(w)) wires_arr in
+  (* Enumerate base indices where all selected wires are zero, then
+     gather/transform/scatter the fibre above each base index. *)
+  let rest_wires = List.filter (fun w -> not seen.(w)) (List.init n (fun i -> i)) in
+  let rest_dims = List.map (fun w -> t.dims.(w)) rest_wires in
+  let rest_str = List.map (fun w -> str.(w)) rest_wires in
+  let rest_total = List.fold_left ( * ) 1 rest_dims in
+  let rest_dims = Array.of_list rest_dims and rest_str = Array.of_list rest_str in
+  (* Offsets of every sub-assignment of the selected wires. *)
+  let sub_offsets = Array.make sub_total 0 in
+  for s = 0 to sub_total - 1 do
+    let rem = ref s and off = ref 0 in
+    for i = k - 1 downto 0 do
+      off := !off + (!rem mod sub_dims.(i) * sub_str.(i));
+      rem := !rem / sub_dims.(i)
+    done;
+    sub_offsets.(s) <- !off
+  done;
+  let out = Cvec.make (Cvec.dim t.amps) in
+  let fibre = Cvec.make sub_total in
+  for r = 0 to rest_total - 1 do
+    let rem = ref r and base = ref 0 in
+    for i = Array.length rest_dims - 1 downto 0 do
+      base := !base + (!rem mod rest_dims.(i) * rest_str.(i));
+      rem := !rem / rest_dims.(i)
+    done;
+    for s = 0 to sub_total - 1 do
+      fibre.(s) <- t.amps.(!base + sub_offsets.(s))
+    done;
+    let transformed = Cmat.apply m fibre in
+    for s = 0 to sub_total - 1 do
+      out.(!base + sub_offsets.(s)) <- transformed.(s)
+    done
+  done;
+  { t with amps = out }
+
+let apply_wire t ~wire m = apply_wires t ~wires:[ wire ] m
+
+let apply_dft t ~wire ~inverse =
+  let d = t.dims.(wire) in
+  if d > 4 then begin
+    (* FFT fast path: transform each fibre along the wire in place. *)
+    let str = (Backend.strides t.dims).(wire) in
+    let total = Cvec.dim t.amps in
+    let out = Cvec.copy t.amps in
+    let buf = Array.make d Cx.zero in
+    let block = str * d in
+    let base = ref 0 in
+    while !base < total do
+      for off = 0 to str - 1 do
+        for k = 0 to d - 1 do
+          buf.(k) <- out.(!base + off + (k * str))
+        done;
+        Fft.dft_any ~inverse buf;
+        for k = 0 to d - 1 do
+          out.(!base + off + (k * str)) <- buf.(k)
+        done
+      done;
+      base := !base + block
+    done;
+    { t with amps = out }
+  end
+  else
+    let m = Cmat.dft d in
+    apply_wire t ~wire (if inverse then Cmat.adjoint m else m)
+
+let apply_basis_map t f =
+  let total = Cvec.dim t.amps in
+  let out = Cvec.make total in
+  let hit = Array.make total false in
+  for idx = 0 to total - 1 do
+    let y = f (Backend.decode t.dims idx) in
+    let j = Backend.encode t.dims y in
+    if hit.(j) then invalid_arg "State.apply_basis_map: not a bijection";
+    hit.(j) <- true;
+    out.(j) <- t.amps.(idx)
+  done;
+  { t with amps = out }
+
+let apply_oracle_add t ~in_wires ~out_wire ~f =
+  let d = t.dims.(out_wire) in
+  apply_basis_map t (fun x ->
+      let input = Array.of_list (List.map (fun w -> x.(w)) in_wires) in
+      let v = f input in
+      if v < 0 || v >= d then invalid_arg "State.apply_oracle_add: oracle value out of range";
+      let y = Array.copy x in
+      y.(out_wire) <- (x.(out_wire) + v) mod d;
+      y)
+
+let probabilities t ~wires =
+  let sub_dims = Array.of_list (List.map (fun w -> t.dims.(w)) wires) in
+  let sub_total = Array.fold_left ( * ) 1 sub_dims in
+  let probs = Array.make sub_total 0.0 in
+  for idx = 0 to Cvec.dim t.amps - 1 do
+    let x = Backend.decode t.dims idx in
+    let outcome = Array.of_list (List.map (fun w -> x.(w)) wires) in
+    let o = Backend.encode sub_dims outcome in
+    probs.(o) <- probs.(o) +. Cx.norm2 t.amps.(idx)
+  done;
+  probs
+
+let measure rng t ~wires =
+  let sub_dims = Array.of_list (List.map (fun w -> t.dims.(w)) wires) in
+  let probs = probabilities t ~wires in
+  let o = Backend.sample_discrete rng probs in
+  let outcome = Backend.decode sub_dims o in
+  (* Project: zero every amplitude whose selected wires differ. *)
+  let out = Cvec.make (Cvec.dim t.amps) in
+  for idx = 0 to Cvec.dim t.amps - 1 do
+    let x = Backend.decode t.dims idx in
+    let matches = List.for_all2 (fun w v -> x.(w) = v) wires (Array.to_list outcome) in
+    if matches then out.(idx) <- t.amps.(idx)
+  done;
+  (outcome, { t with amps = Cvec.normalize out })
+
+let norm t = Cvec.norm t.amps
+
+let approx_equal ?(eps = 1e-9) a b = a.dims = b.dims && Cvec.approx_equal ~eps a.amps b.amps
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>state over dims [%s]@,%a@]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.dims)))
+    Cvec.pp t.amps

@@ -1,0 +1,14 @@
+(** Dense state-vector backend: one contiguous complex array of
+    dimension [prod dims], capped at {!Backend.dense_cap}.
+
+    This is the seed simulator, exact and cache-friendly; it remains the
+    reference implementation that the sparse backend is validated
+    against (see the backend-equivalence test suite).  Satisfies
+    {!Backend.S}, plus dense-only extras ({!apply_wire}, {!approx_equal},
+    {!pp}) used by the {!State} dispatcher. *)
+
+include Backend.S
+
+val apply_wire : t -> wire:int -> Linalg.Cmat.t -> t
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

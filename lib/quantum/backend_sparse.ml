@@ -1,0 +1,270 @@
+open Linalg
+
+(* Support-sparse state vector: a hashtable from mixed-radix basis
+   index to nonzero amplitude.  Indices stay within OCaml's native int
+   range (the total dimension is overflow-checked), so registers far
+   beyond the dense 2^24 cap are representable as long as the states
+   that actually arise keep small support. *)
+
+type t = { dims : int array; total : int; str : int array; tbl : (int, Cx.t) Hashtbl.t }
+
+let prune_epsilon = ref 1e-12
+
+let set_prune_epsilon e =
+  if e < 0.0 then invalid_arg "Backend_sparse.set_prune_epsilon: negative epsilon";
+  prune_epsilon := e
+
+let prune_eps () = !prune_epsilon
+
+let put tbl idx z = if Cx.abs z > !prune_epsilon then Hashtbl.replace tbl idx z
+
+let make_frame dims =
+  let total = Backend.total_of dims in
+  { dims = Array.copy dims; total; str = Backend.strides dims; tbl = Hashtbl.create 64 }
+
+let create dims =
+  let t = make_frame dims in
+  Hashtbl.replace t.tbl 0 Cx.one;
+  t
+
+let of_basis dims x =
+  let t = make_frame dims in
+  Hashtbl.replace t.tbl (Backend.encode dims x) Cx.one;
+  t
+
+let norm2 t = Hashtbl.fold (fun _ z acc -> acc +. Cx.norm2 z) t.tbl 0.0
+let norm t = sqrt (norm2 t)
+
+let normalize t =
+  let n = norm t in
+  if n = 0.0 then invalid_arg "State: zero vector";
+  if Float.abs (n -. 1.0) < 1e-15 then t
+  else begin
+    let tbl = Hashtbl.create (Hashtbl.length t.tbl) in
+    Hashtbl.iter (fun idx z -> Hashtbl.replace tbl idx (Cx.scale (1.0 /. n) z)) t.tbl;
+    { t with tbl }
+  end
+
+let of_amplitudes dims v =
+  let t = make_frame dims in
+  if Cvec.dim v <> t.total then invalid_arg "State.of_amplitudes: dimension mismatch";
+  Array.iteri (fun idx z -> put t.tbl idx z) v;
+  normalize t
+
+let of_support dims entries =
+  let t = make_frame dims in
+  if entries = [] then invalid_arg "State.of_support: empty support";
+  List.iter
+    (fun (x, a) ->
+      let idx = Backend.encode dims x in
+      let prev = Option.value ~default:Cx.zero (Hashtbl.find_opt t.tbl idx) in
+      Hashtbl.replace t.tbl idx (Cx.add prev a))
+    entries;
+  normalize t
+
+let dims t = Array.copy t.dims
+let num_wires t = Array.length t.dims
+let total_dim t = t.total
+let support_size t = Hashtbl.length t.tbl
+
+let amplitudes t =
+  if t.total > Backend.dense_cap then
+    invalid_arg "State.amplitudes: register too large to materialise densely";
+  let v = Cvec.make t.total in
+  Hashtbl.iter (fun idx z -> v.(idx) <- z) t.tbl;
+  v
+
+let amp_at t idx = Option.value ~default:Cx.zero (Hashtbl.find_opt t.tbl idx)
+let iter_nonzero t f = Hashtbl.iter (fun idx z -> f idx z) t.tbl
+
+let tensor a b =
+  let out = make_frame (Array.append a.dims b.dims) in
+  Hashtbl.iter
+    (fun ia za ->
+      Hashtbl.iter (fun ib zb -> put out.tbl ((ia * b.total) + ib) (Cx.mul za zb)) b.tbl)
+    a.tbl;
+  out
+
+let uniform dims =
+  let t = make_frame dims in
+  if t.total > Backend.dense_cap then
+    invalid_arg "State.uniform: support is the whole register; use the dense backend";
+  let a = Cx.re (1.0 /. sqrt (float_of_int t.total)) in
+  for idx = 0 to t.total - 1 do
+    Hashtbl.replace t.tbl idx a
+  done;
+  t
+
+(* Gather the support into fibres over the selected wires: each entry's
+   index splits into a base (selected wires zeroed) plus a sub-index;
+   the unitary acts densely on each populated fibre, so the cost is
+   O(support) + O(#bases * fibre work), independent of total_dim. *)
+let group_fibres t ~wires_arr ~sub_dims =
+  let k = Array.length wires_arr in
+  let sub_total = Array.fold_left ( * ) 1 sub_dims in
+  let fibres : (int, Cvec.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun idx z ->
+      let base = ref idx and s = ref 0 in
+      for i = 0 to k - 1 do
+        let w = wires_arr.(i) in
+        let digit = idx / t.str.(w) mod t.dims.(w) in
+        base := !base - (digit * t.str.(w));
+        s := (!s * sub_dims.(i)) + digit
+      done;
+      let fibre =
+        match Hashtbl.find_opt fibres !base with
+        | Some f -> f
+        | None ->
+            let f = Cvec.make sub_total in
+            Hashtbl.add fibres !base f;
+            f
+      in
+      fibre.(!s) <- z)
+    t.tbl;
+  fibres
+
+(* Offset of sub-index [s] relative to a base index. *)
+let sub_offsets ~wires_arr ~sub_dims ~str =
+  let k = Array.length wires_arr in
+  let sub_total = Array.fold_left ( * ) 1 sub_dims in
+  Array.init sub_total (fun s ->
+      let rem = ref s and off = ref 0 in
+      for i = k - 1 downto 0 do
+        off := !off + (!rem mod sub_dims.(i) * str.(wires_arr.(i)));
+        rem := !rem / sub_dims.(i)
+      done;
+      !off)
+
+let apply_wires t ~wires m =
+  let n = Array.length t.dims in
+  List.iter (fun w -> if w < 0 || w >= n then invalid_arg "State.apply_wires: bad wire") wires;
+  let wires_arr = Array.of_list wires in
+  let seen = Array.make n false in
+  Array.iter
+    (fun w ->
+      if seen.(w) then invalid_arg "State.apply_wires: duplicate wire";
+      seen.(w) <- true)
+    wires_arr;
+  let sub_dims = Array.map (fun w -> t.dims.(w)) wires_arr in
+  let sub_total = Array.fold_left ( * ) 1 sub_dims in
+  if Cmat.rows m <> sub_total || Cmat.cols m <> sub_total then
+    invalid_arg "State.apply_wires: matrix dimension mismatch";
+  let fibres = group_fibres t ~wires_arr ~sub_dims in
+  let offsets = sub_offsets ~wires_arr ~sub_dims ~str:t.str in
+  let out = Hashtbl.create (Hashtbl.length t.tbl) in
+  Hashtbl.iter
+    (fun base fibre ->
+      let transformed = Cmat.apply m fibre in
+      for s = 0 to sub_total - 1 do
+        put out (base + offsets.(s)) transformed.(s)
+      done)
+    fibres;
+  { t with tbl = out }
+
+let apply_dft t ~wire ~inverse =
+  let d = t.dims.(wire) in
+  let stride = t.str.(wire) in
+  let fibres = group_fibres t ~wires_arr:[| wire |] ~sub_dims:[| d |] in
+  let out = Hashtbl.create (Hashtbl.length t.tbl) in
+  Hashtbl.iter
+    (fun base fibre ->
+      Fft.dft_any ~inverse fibre;
+      for k = 0 to d - 1 do
+        put out (base + (k * stride)) fibre.(k)
+      done)
+    fibres;
+  { t with tbl = out }
+
+let apply_basis_map t f =
+  let out = Hashtbl.create (Hashtbl.length t.tbl) in
+  Hashtbl.iter
+    (fun idx z ->
+      let y = f (Backend.decode t.dims idx) in
+      let j = Backend.encode t.dims y in
+      (* Injectivity is checkable only on the support: two populated
+         indices mapping to the same image is a definite non-bijection;
+         collisions with unpopulated indices are invisible (they carry
+         zero amplitude, so the state is still correct whenever f really
+         is a bijection, which the dense backend fully verifies). *)
+      if Hashtbl.mem out j then invalid_arg "State.apply_basis_map: not a bijection";
+      Hashtbl.replace out j z)
+    t.tbl;
+  { t with tbl = out }
+
+let apply_oracle_add t ~in_wires ~out_wire ~f =
+  let d = t.dims.(out_wire) in
+  apply_basis_map t (fun x ->
+      let input = Array.of_list (List.map (fun w -> x.(w)) in_wires) in
+      let v = f input in
+      if v < 0 || v >= d then invalid_arg "State.apply_oracle_add: oracle value out of range";
+      let y = Array.copy x in
+      y.(out_wire) <- (x.(out_wire) + v) mod d;
+      y)
+
+let digits_of t ~wires idx = List.map (fun w -> idx / t.str.(w) mod t.dims.(w)) wires
+
+let probabilities t ~wires =
+  let sub_dims = Array.of_list (List.map (fun w -> t.dims.(w)) wires) in
+  let sub_total = Backend.total_of sub_dims in
+  if sub_total > Backend.dense_cap then
+    invalid_arg "State.probabilities: outcome space too large to materialise densely";
+  let probs = Array.make sub_total 0.0 in
+  Hashtbl.iter
+    (fun idx z ->
+      let o = Backend.encode sub_dims (Array.of_list (digits_of t ~wires idx)) in
+      probs.(o) <- probs.(o) +. Cx.norm2 z)
+    t.tbl;
+  probs
+
+(* Born-rule sampling straight off the support: draw one populated
+   basis index with probability |amp|^2 and project onto its selected
+   digits.  Never materialises the outcome space, so measuring all
+   wires of a > 2^24-dimensional register is fine. *)
+let measure rng t ~wires =
+  let w = norm2 t in
+  let r = Random.State.float rng w in
+  let acc = ref 0.0 in
+  let chosen = ref None in
+  (try
+     Hashtbl.iter
+       (fun idx z ->
+         acc := !acc +. Cx.norm2 z;
+         if r < !acc then begin
+           chosen := Some idx;
+           raise Exit
+         end)
+       t.tbl
+   with Exit -> ());
+  let chosen =
+    match !chosen with
+    | Some idx -> idx
+    | None -> Hashtbl.fold (fun idx _ _ -> idx) t.tbl (-1)
+  in
+  if chosen < 0 then invalid_arg "State.measure: zero vector";
+  let outcome = Array.of_list (digits_of t ~wires chosen) in
+  let target = Array.to_list outcome in
+  let out = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun idx z -> if digits_of t ~wires idx = target then Hashtbl.replace out idx z)
+    t.tbl;
+  (outcome, normalize { t with tbl = out })
+
+let approx_equal ?(eps = 1e-9) a b =
+  a.dims = b.dims
+  && begin
+       let ok = ref true in
+       Hashtbl.iter (fun idx z -> if not (Cx.approx_equal ~eps z (amp_at b idx)) then ok := false) a.tbl;
+       Hashtbl.iter (fun idx z -> if not (Cx.approx_equal ~eps z (amp_at a idx)) then ok := false) b.tbl;
+       !ok
+     end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>sparse state over dims [%s], %d/%d nonzero@,"
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.dims)))
+    (Hashtbl.length t.tbl) t.total;
+  let entries =
+    List.sort compare (Hashtbl.fold (fun idx z acc -> (idx, z) :: acc) t.tbl [])
+  in
+  List.iter (fun (idx, z) -> Format.fprintf fmt "%d: %a@," idx Cx.pp z) entries;
+  Format.fprintf fmt "@]"

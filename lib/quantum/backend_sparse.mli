@@ -1,0 +1,27 @@
+(** Sparse state-vector backend: a hashtable of the nonzero amplitudes.
+
+    Time and memory scale with the support size (times the local fibre
+    dimension for gate application), not with [prod dims], so registers
+    beyond {!Backend.dense_cap} are simulable whenever the computation
+    keeps the state sparse — which is exactly the shape of the paper's
+    workloads: coset states [|xH>] have support [|H|], and their group
+    Fourier transforms are supported on the [|G|/|H|]-point annihilator.
+
+    Amplitudes with modulus at most the pruning epsilon (default
+    [1e-12], see {!set_prune_epsilon}) are dropped after each unitary,
+    so destructive interference actually shrinks the table.  Satisfies
+    {!Backend.S}; the equivalence test suite checks it against
+    {!Backend_dense} amplitude-by-amplitude on random circuits. *)
+
+include Backend.S
+
+val set_prune_epsilon : float -> unit
+(** Amplitudes with [|z| <= epsilon] are dropped after each unitary.
+    @raise Invalid_argument on a negative epsilon. *)
+
+val prune_eps : unit -> float
+
+val approx_equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints the nonzero entries in index order (intended for small
+    supports). *)

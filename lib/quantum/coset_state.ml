@@ -12,7 +12,7 @@ let enumerate dims =
   let total = total_of dims in
   List.init total (fun idx -> State.decode dims idx)
 
-let sampler ~dims ~f ~queries =
+let sampler ?backend ~dims ~f ~queries () =
   let total = total_of dims in
   (* The oracle is deterministic, so the simulator's classical
      expansion of the superposition is computed once and shared by all
@@ -28,22 +28,52 @@ let sampler ~dims ~f ~queries =
        exactly that. *)
     let x0 = Random.State.int rng total in
     let t0 = tags.(x0) in
-    let count = ref 0 in
-    for idx = 0 to total - 1 do
-      if tags.(idx) = t0 then incr count
+    let members = ref [] and count = ref 0 in
+    for idx = total - 1 downto 0 do
+      if tags.(idx) = t0 then begin
+        members := idx :: !members;
+        incr count
+      end
     done;
     let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
-    let v = Cvec.make total in
-    for idx = 0 to total - 1 do
-      if tags.(idx) = t0 then v.(idx) <- amp
-    done;
-    let st = State.of_amplitudes dims v in
+    let st =
+      match Backend.resolve ?backend ~total () with
+      | Backend.Sparse ->
+          State.of_sparse ~backend:Backend.Sparse dims
+            (List.map (fun idx -> (State.decode dims idx, amp)) !members)
+      | _ ->
+          let v = Cvec.make total in
+          List.iter (fun idx -> v.(idx) <- amp) !members;
+          State.of_amplitudes ~backend:Backend.Dense dims v
+    in
     let st = Qft.forward st ~wires in
     State.measure_all rng st
 
-let sample rng ~dims ~f ~queries = sampler ~dims ~f ~queries rng
+let sample rng ~dims ~f ~queries = sampler ~dims ~f ~queries () rng
 
-let sampler_state_valued ~dims ~f ~queries =
+let sampler_with_support ?backend ~dims ~coset ~queries () =
+  (* No [max_group_size] guard and no O(|A|) oracle expansion: the
+     caller hands us the coset of a uniformly drawn point directly, so
+     one round costs O(|coset|) state construction plus the sparse
+     Fourier/measurement work.  This is what lifts instances whose
+     total dimension exceeds the dense cap: the backend defaults to
+     sparse ({!State.of_sparse}) unless the caller forces dense. *)
+  let _total_checked = Backend.total_of dims in
+  let wires = List.init (Array.length dims) (fun i -> i) in
+  fun rng ->
+    Query.tick queries;
+    let x0 = Array.map (fun d -> Random.State.int rng d) dims in
+    let members = coset x0 in
+    if members = [] then invalid_arg "Coset_state: coset function returned an empty coset";
+    let amp = Cx.re (1.0 /. sqrt (float_of_int (List.length members))) in
+    let st = State.of_sparse ?backend dims (List.map (fun x -> (x, amp)) members) in
+    let st = Qft.forward st ~wires in
+    State.measure_all rng st
+
+let sample_with_support rng ?backend ~dims ~coset ~queries () =
+  sampler_with_support ?backend ~dims ~coset ~queries () rng
+
+let sampler_state_valued ?backend ~dims ~f ~queries () =
   (* Reduce the state-valued oracle to the tag case by canonicalising
      each returned vector to a bucket id: the promise (equal within a
      coset, orthogonal across) makes near-equality a safe test. *)
@@ -60,9 +90,9 @@ let sampler_state_valued ~dims ~f ~queries =
         reps := (id, v) :: !reps;
         id
   in
-  sampler ~dims ~f:tag_of ~queries
+  sampler ?backend ~dims ~f:tag_of ~queries ()
 
-let sample_full rng ~dims ~f ~queries =
+let sample_full rng ?backend ~dims ~f ~queries () =
   Query.tick queries;
   (* Canonicalise oracle values to 0..k-1 so they fit one output wire. *)
   let values = Hashtbl.create 64 in
@@ -79,8 +109,8 @@ let sample_full rng ~dims ~f ~queries =
   let all_dims = Array.append dims [| out_dim |] in
   let n = Array.length dims in
   let group_wires = List.init n (fun i -> i) in
-  let st = State.uniform dims in
-  let st = State.tensor st (State.create [| out_dim |]) in
+  let st = State.uniform ?backend dims in
+  let st = State.tensor st (State.create ?backend [| out_dim |]) in
   let st = State.apply_oracle_add st ~in_wires:group_wires ~out_wire:n ~f:(fun x -> canon (f x)) in
   ignore all_dims;
   let st = Qft.forward st ~wires:group_wires in

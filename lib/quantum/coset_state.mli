@@ -6,20 +6,32 @@
     uniformly random character of [A] that is trivial on the hidden
     subgroup [ker/period of f].
 
-    Two implementations are provided:
+    Three implementations are provided:
 
-    - {!sample} — the production fast path.  It measures the function
-      register {e first} (deferred-measurement principle: measuring the
-      two registers in either order yields the same joint
-      distribution), so it only ever materialises one
-      [|A|]-dimensional coset state instead of the
-      [|A| * #values] tensor.
+    - {!sample} / {!sampler} — the production fast path.  It measures
+      the function register {e first} (deferred-measurement principle:
+      measuring the two registers in either order yields the same joint
+      distribution), so it only ever materialises one coset state
+      instead of the [|A| * #values] tensor.  Expanding the oracle
+      classically still costs O(|A|), so these are capped at
+      2^22 group elements.
+    - {!sampler_with_support} — the beyond-the-cap path.  The caller
+      supplies the coset of a point directly (the simulator's planted
+      instance knows the hidden subgroup), so one round costs
+      O(|coset|) state construction on the sparse backend and no
+      O(|A|) expansion at all; groups far beyond the dense 2^24 cap
+      become simulable when cosets and their Fourier supports are
+      small.
     - {!sample_full} — the reference implementation on the full tensor
       product, used by tests to validate {!sample}.
 
     Each call costs one oracle query: the oracle is evaluated once in
     superposition.  The classical expansion of that superposition by
-    the simulator is *not* charged to the algorithm. *)
+    the simulator is *not* charged to the algorithm.
+
+    Every entry point takes an optional [?backend] routed to the
+    {!State} constructors; omitted, the session default
+    ({!Backend.default}) applies. *)
 
 val sample :
   Random.State.t -> dims:int array -> f:(int array -> int) -> queries:Query.t -> int array
@@ -30,23 +42,63 @@ val sample :
     uniform on the annihilator [H^perp]. *)
 
 val sampler :
-  dims:int array -> f:(int array -> int) -> queries:Query.t -> Random.State.t -> int array
+  ?backend:Backend.choice ->
+  dims:int array ->
+  f:(int array -> int) ->
+  queries:Query.t ->
+  unit ->
+  Random.State.t -> int array
 (** Factory form of {!sample} that evaluates the (deterministic)
     oracle over the group once and reuses the table across samples —
     same distribution and query accounting, much cheaper simulation
     when many rounds are drawn from one oracle. *)
 
+val sampler_with_support :
+  ?backend:Backend.choice ->
+  dims:int array ->
+  coset:(int array -> int array list) ->
+  queries:Query.t ->
+  unit ->
+  Random.State.t -> int array
+(** Like {!sampler}, but the simulator is given the coset structure
+    instead of discovering it by exhaustive oracle expansion:
+    [coset x] must return the distinct members of [xH].  One round
+    draws a uniform [x], builds the [|xH>] superposition sparsely
+    ({!State.of_sparse} — sparse backend unless overridden), Fourier
+    transforms and measures.  No group-size cap; this is the entry
+    point that lifts instances whose total dimension exceeds
+    {!State.max_total_dim}.  Query accounting is identical to
+    {!sampler}: one quantum query per round. *)
+
+val sample_with_support :
+  Random.State.t ->
+  ?backend:Backend.choice ->
+  dims:int array ->
+  coset:(int array -> int array list) ->
+  queries:Query.t ->
+  unit ->
+  int array
+(** One-shot form of {!sampler_with_support}. *)
+
 val sample_full :
-  Random.State.t -> dims:int array -> f:(int array -> int) -> queries:Query.t -> int array
-(** Same distribution, computed by building the full
+  Random.State.t ->
+  ?backend:Backend.choice ->
+  dims:int array ->
+  f:(int array -> int) ->
+  queries:Query.t ->
+  unit ->
+  int array
+(** Same distribution as {!sample}, computed by building the full
     [A x range(f)] register, applying the oracle unitary, Fourier
     transforming and measuring.  Exponentially more memory; only for
     small [A]. *)
 
 val sampler_state_valued :
+  ?backend:Backend.choice ->
   dims:int array ->
   f:(int array -> Linalg.Cvec.t) ->
   queries:Query.t ->
+  unit ->
   Random.State.t ->
   int array
 (** Lemma 9 of the paper: the hiding function returns a *quantum

@@ -1,6 +1,6 @@
 open Linalg
 
-let estimate rng ~precision_bits:t ~unitary ~eigenstate =
+let estimate ?backend rng ~precision_bits:t ~unitary ~eigenstate =
   if not (Cmat.is_unitary ~eps:1e-8 unitary) then
     invalid_arg "Phase_estimation.estimate: not unitary";
   let dim = Cmat.rows unitary in
@@ -28,15 +28,15 @@ let estimate rng ~precision_bits:t ~unitary ~eigenstate =
     acc := Cx.mul !acc eigenvalue
   done;
   (* inverse QFT on the counting register, then measure *)
-  let st = State.of_amplitudes [| q |] amps in
+  let st = State.of_amplitudes ?backend [| q |] amps in
   let st = State.apply_dft st ~wire:0 ~inverse:true in
   let outcome = State.measure_all rng st in
   float_of_int outcome.(0) /. float_of_int q
 
-let estimate_exact rng ~precision_bits ~unitary ~eigenstate ~trials =
+let estimate_exact ?backend rng ~precision_bits ~unitary ~eigenstate ~trials =
   let counts = Hashtbl.create 16 in
   for _ = 1 to trials do
-    let phi = estimate rng ~precision_bits ~unitary ~eigenstate in
+    let phi = estimate ?backend rng ~precision_bits ~unitary ~eigenstate in
     Hashtbl.replace counts phi (1 + Option.value ~default:0 (Hashtbl.find_opt counts phi))
   done;
   let best = ref 0.0 and best_count = ref 0 in

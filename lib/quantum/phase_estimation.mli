@@ -10,6 +10,7 @@
     simulation. *)
 
 val estimate :
+  ?backend:Backend.choice ->
   Random.State.t ->
   precision_bits:int ->
   unitary:Linalg.Cmat.t ->
@@ -24,6 +25,7 @@ val estimate :
     eigenstate dimension mismatches. *)
 
 val estimate_exact :
+  ?backend:Backend.choice ->
   Random.State.t ->
   precision_bits:int ->
   unitary:Linalg.Cmat.t ->

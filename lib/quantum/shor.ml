@@ -16,7 +16,7 @@ let register_size bound =
   !q
 
 (* One Fourier-sampling round over Z_Q; returns the measured c. *)
-let sample_round rng q tags queries =
+let sample_round ?backend rng q tags queries =
   Query.tick queries;
   let k0 = Random.State.int rng q in
   let t0 = tags.(k0) in
@@ -30,7 +30,7 @@ let sample_round rng q tags queries =
   let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
   let v = Cvec.make q in
   List.iter (fun k -> v.(k) <- amp) !members;
-  let st = State.of_amplitudes [| q |] v in
+  let st = State.of_amplitudes ?backend [| q |] v in
   let st = Qft.forward st ~wires:[ 0 ] in
   let outcome = State.measure_all rng st in
   outcome.(0)
@@ -39,14 +39,14 @@ let verified_period f r =
   r >= 1 && f r = f 0
   && List.for_all (fun p -> f (r / p) <> f 0) (Primes.prime_divisors r)
 
-let period_finding rng ~f ~period_bound ~queries ~max_rounds =
+let period_finding ?backend rng ~f ~period_bound ~queries ~max_rounds =
   if period_bound < 1 then invalid_arg "Shor.period_finding: bound < 1";
   let q = register_size period_bound in
   let tags = Array.init q f in
   let rec go rounds acc =
     if rounds >= max_rounds then None
     else begin
-      let c = sample_round rng q tags queries in
+      let c = sample_round ?backend rng q tags queries in
       (* Accept a convergent h/k only if it approximates c/q to within
          1/(2q): for q >= 2*bound^2 such a fraction with denominator
          <= bound is unique, so an accepted k is the reduced
@@ -67,8 +67,8 @@ let period_finding rng ~f ~period_bound ~queries ~max_rounds =
   in
   if verified_period f 1 then Some 1 else go 0 1
 
-let find_order rng ~pow ~order_bound ~queries =
-  period_finding rng ~f:pow ~period_bound:order_bound ~queries ~max_rounds:40
+let find_order ?backend rng ~pow ~order_bound ~queries =
+  period_finding ?backend rng ~f:pow ~period_bound:order_bound ~queries ~max_rounds:40
 
 let factor rng n =
   if n < 4 then invalid_arg "Shor.factor: n < 4";

@@ -1,244 +1,148 @@
 open Linalg
 
-type t = { dims : int array; amps : Cvec.t }
+type t = Dense of Backend_dense.t | Sparse of Backend_sparse.t
 
-let max_total_dim = 1 lsl 24
-(* 16M amplitudes = 256 MB; anything beyond that is a bug in the
-   caller, not a workload the simulator supports. *)
+let max_total_dim = Backend.dense_cap
+let backend = function Dense _ -> Backend.Dense | Sparse _ -> Backend.Sparse
+let encode = Backend.encode
+let decode = Backend.decode
 
-let total_of dims =
-  Array.fold_left
-    (fun acc d ->
-      if d < 1 then invalid_arg "State: wire dimension < 1";
-      let t = acc * d in
-      if t > max_total_dim then invalid_arg "State: register too large to simulate";
-      t)
-    1 dims
+let resolve ?backend dims =
+  Backend.resolve ?backend ~total:(Backend.total_of dims) ()
 
-let encode dims x =
-  if Array.length x <> Array.length dims then invalid_arg "State.encode: arity mismatch";
-  let idx = ref 0 in
-  Array.iteri
-    (fun i xi ->
-      if xi < 0 || xi >= dims.(i) then invalid_arg "State.encode: value out of range";
-      idx := (!idx * dims.(i)) + xi)
-    x;
-  !idx
+let create ?backend dims =
+  match resolve ?backend dims with
+  | Backend.Sparse -> Sparse (Backend_sparse.create dims)
+  | _ -> Dense (Backend_dense.create dims)
 
-let decode dims idx =
-  let n = Array.length dims in
-  let x = Array.make n 0 in
-  let rem = ref idx in
-  for i = n - 1 downto 0 do
-    x.(i) <- !rem mod dims.(i);
-    rem := !rem / dims.(i)
-  done;
-  x
+let of_basis ?backend dims x =
+  match resolve ?backend dims with
+  | Backend.Sparse -> Sparse (Backend_sparse.of_basis dims x)
+  | _ -> Dense (Backend_dense.of_basis dims x)
 
-let create dims =
-  let total = total_of dims in
-  let amps = Cvec.make total in
-  amps.(0) <- Cx.one;
-  { dims = Array.copy dims; amps }
+let of_amplitudes ?backend dims v =
+  match resolve ?backend dims with
+  | Backend.Sparse -> Sparse (Backend_sparse.of_amplitudes dims v)
+  | _ -> Dense (Backend_dense.of_amplitudes dims v)
 
-let of_basis dims x =
-  let total = total_of dims in
-  let amps = Cvec.make total in
-  amps.(encode dims x) <- Cx.one;
-  { dims = Array.copy dims; amps }
+(* A sparse construction defaults to the sparse backend (Auto included):
+   the caller is telling us the support is small, and beyond the dense
+   cap that is the only representation that exists at all. *)
+let of_sparse ?backend dims entries =
+  let choice = match backend with Some c -> c | None -> Backend.default () in
+  match choice with
+  | Backend.Dense -> Dense (Backend_dense.of_support dims entries)
+  | Backend.Sparse | Backend.Auto -> Sparse (Backend_sparse.of_support dims entries)
 
-let of_amplitudes dims v =
-  let total = total_of dims in
-  if Cvec.dim v <> total then invalid_arg "State.of_amplitudes: dimension mismatch";
-  { dims = Array.copy dims; amps = Cvec.normalize (Cvec.copy v) }
+let uniform ?backend dims =
+  match resolve ?backend dims with
+  | Backend.Sparse -> Sparse (Backend_sparse.uniform dims)
+  | _ -> Dense (Backend_dense.uniform dims)
 
-let dims t = Array.copy t.dims
-let num_wires t = Array.length t.dims
-let total_dim t = Cvec.dim t.amps
-let amplitudes t = Cvec.copy t.amps
+let dims = function Dense d -> Backend_dense.dims d | Sparse s -> Backend_sparse.dims s
+
+let num_wires = function
+  | Dense d -> Backend_dense.num_wires d
+  | Sparse s -> Backend_sparse.num_wires s
+
+let total_dim = function
+  | Dense d -> Backend_dense.total_dim d
+  | Sparse s -> Backend_sparse.total_dim s
+
+let support_size = function
+  | Dense d -> Backend_dense.support_size d
+  | Sparse s -> Backend_sparse.support_size s
+
+let amplitudes = function
+  | Dense d -> Backend_dense.amplitudes d
+  | Sparse s -> Backend_sparse.amplitudes s
+
+let amp_at t idx =
+  match t with
+  | Dense d -> Backend_dense.amp_at d idx
+  | Sparse s -> Backend_sparse.amp_at s idx
+
+let iter_nonzero t f =
+  match t with
+  | Dense d -> Backend_dense.iter_nonzero d f
+  | Sparse s -> Backend_sparse.iter_nonzero s f
+
+let to_backend choice t =
+  match (Backend.resolve ~backend:choice ~total:(total_dim t) (), t) with
+  | Backend.Sparse, Dense d ->
+      Sparse (Backend_sparse.of_amplitudes (Backend_dense.dims d) (Backend_dense.amplitudes d))
+  | (Backend.Dense | Backend.Auto), Sparse s ->
+      Dense (Backend_dense.of_amplitudes (Backend_sparse.dims s) (Backend_sparse.amplitudes s))
+  | _ -> t
 
 let tensor a b =
-  let dims = Array.append a.dims b.dims in
-  let total = total_of dims in
-  let nb = Cvec.dim b.amps in
-  let amps = Cvec.make total in
-  for i = 0 to Cvec.dim a.amps - 1 do
-    for j = 0 to nb - 1 do
-      amps.((i * nb) + j) <- Cx.mul a.amps.(i) b.amps.(j)
-    done
-  done;
-  { dims; amps }
-
-let uniform dims =
-  let total = total_of dims in
-  let a = Cx.re (1.0 /. sqrt (float_of_int total)) in
-  { dims = Array.copy dims; amps = Array.make total a }
-
-(* Strides: stride.(i) = product of dims.(j) for j > i. *)
-let strides dims =
-  let n = Array.length dims in
-  let s = Array.make n 1 in
-  for i = n - 2 downto 0 do
-    s.(i) <- s.(i + 1) * dims.(i + 1)
-  done;
-  s
+  match (a, b) with
+  | Dense x, Dense y -> Dense (Backend_dense.tensor x y)
+  | Sparse x, Sparse y -> Sparse (Backend_sparse.tensor x y)
+  (* Mixed operands promote to sparse: the product support is the
+     product of supports, and sparse has no size ceiling to trip. *)
+  | (Sparse _ | Dense _), _ -> (
+      match (to_backend Backend.Sparse a, to_backend Backend.Sparse b) with
+      | Sparse x, Sparse y -> Sparse (Backend_sparse.tensor x y)
+      | _ -> assert false)
 
 let apply_wires t ~wires m =
-  let n = Array.length t.dims in
-  List.iter (fun w -> if w < 0 || w >= n then invalid_arg "State.apply_wires: bad wire") wires;
-  let wires_arr = Array.of_list wires in
-  let k = Array.length wires_arr in
-  let seen = Array.make n false in
-  Array.iter
-    (fun w ->
-      if seen.(w) then invalid_arg "State.apply_wires: duplicate wire";
-      seen.(w) <- true)
-    wires_arr;
-  let sub_dims = Array.map (fun w -> t.dims.(w)) wires_arr in
-  let sub_total = Array.fold_left ( * ) 1 sub_dims in
-  if Cmat.rows m <> sub_total || Cmat.cols m <> sub_total then
-    invalid_arg "State.apply_wires: matrix dimension mismatch";
-  let str = strides t.dims in
-  let sub_str = Array.map (fun w -> str.(w)) wires_arr in
-  (* Enumerate base indices where all selected wires are zero, then
-     gather/transform/scatter the fibre above each base index. *)
-  let rest_wires = List.filter (fun w -> not (List.mem w wires)) (List.init n (fun i -> i)) in
-  let rest_dims = List.map (fun w -> t.dims.(w)) rest_wires in
-  let rest_str = List.map (fun w -> str.(w)) rest_wires in
-  let rest_total = List.fold_left ( * ) 1 rest_dims in
-  let rest_dims = Array.of_list rest_dims and rest_str = Array.of_list rest_str in
-  (* Offsets of every sub-assignment of the selected wires. *)
-  let sub_offsets = Array.make sub_total 0 in
-  for s = 0 to sub_total - 1 do
-    let rem = ref s and off = ref 0 in
-    for i = k - 1 downto 0 do
-      off := !off + (!rem mod sub_dims.(i) * sub_str.(i));
-      rem := !rem / sub_dims.(i)
-    done;
-    sub_offsets.(s) <- !off
-  done;
-  let out = Cvec.make (Cvec.dim t.amps) in
-  let fibre = Cvec.make sub_total in
-  for r = 0 to rest_total - 1 do
-    let rem = ref r and base = ref 0 in
-    for i = Array.length rest_dims - 1 downto 0 do
-      base := !base + (!rem mod rest_dims.(i) * rest_str.(i));
-      rem := !rem / rest_dims.(i)
-    done;
-    for s = 0 to sub_total - 1 do
-      fibre.(s) <- t.amps.(!base + sub_offsets.(s))
-    done;
-    let transformed = Cmat.apply m fibre in
-    for s = 0 to sub_total - 1 do
-      out.(!base + sub_offsets.(s)) <- transformed.(s)
-    done
-  done;
-  { t with amps = out }
+  match t with
+  | Dense d -> Dense (Backend_dense.apply_wires d ~wires m)
+  | Sparse s -> Sparse (Backend_sparse.apply_wires s ~wires m)
 
 let apply_wire t ~wire m = apply_wires t ~wires:[ wire ] m
 
 let apply_dft t ~wire ~inverse =
-  let d = t.dims.(wire) in
-  if d > 4 then begin
-    (* FFT fast path: transform each fibre along the wire in place. *)
-    let str = (strides t.dims).(wire) in
-    let total = Cvec.dim t.amps in
-    let out = Cvec.copy t.amps in
-    let buf = Array.make d Cx.zero in
-    let block = str * d in
-    let base = ref 0 in
-    while !base < total do
-      for off = 0 to str - 1 do
-        for k = 0 to d - 1 do
-          buf.(k) <- out.(!base + off + (k * str))
-        done;
-        Fft.dft_any ~inverse buf;
-        for k = 0 to d - 1 do
-          out.(!base + off + (k * str)) <- buf.(k)
-        done
-      done;
-      base := !base + block
-    done;
-    { t with amps = out }
-  end
-  else
-    let m = Cmat.dft d in
-    apply_wire t ~wire (if inverse then Cmat.adjoint m else m)
+  match t with
+  | Dense d -> Dense (Backend_dense.apply_dft d ~wire ~inverse)
+  | Sparse s -> Sparse (Backend_sparse.apply_dft s ~wire ~inverse)
 
 let apply_basis_map t f =
-  let total = Cvec.dim t.amps in
-  let out = Cvec.make total in
-  let hit = Array.make total false in
-  for idx = 0 to total - 1 do
-    let y = f (decode t.dims idx) in
-    let j = encode t.dims y in
-    if hit.(j) then invalid_arg "State.apply_basis_map: not a bijection";
-    hit.(j) <- true;
-    out.(j) <- t.amps.(idx)
-  done;
-  { t with amps = out }
+  match t with
+  | Dense d -> Dense (Backend_dense.apply_basis_map d f)
+  | Sparse s -> Sparse (Backend_sparse.apply_basis_map s f)
 
 let apply_oracle_add t ~in_wires ~out_wire ~f =
-  let d = t.dims.(out_wire) in
-  apply_basis_map t (fun x ->
-      let input = Array.of_list (List.map (fun w -> x.(w)) in_wires) in
-      let v = f input in
-      if v < 0 || v >= d then invalid_arg "State.apply_oracle_add: oracle value out of range";
-      let y = Array.copy x in
-      y.(out_wire) <- (x.(out_wire) + v) mod d;
-      y)
+  match t with
+  | Dense d -> Dense (Backend_dense.apply_oracle_add d ~in_wires ~out_wire ~f)
+  | Sparse s -> Sparse (Backend_sparse.apply_oracle_add s ~in_wires ~out_wire ~f)
 
 let probabilities t ~wires =
-  let sub_dims = Array.of_list (List.map (fun w -> t.dims.(w)) wires) in
-  let sub_total = Array.fold_left ( * ) 1 sub_dims in
-  let probs = Array.make sub_total 0.0 in
-  for idx = 0 to Cvec.dim t.amps - 1 do
-    let x = decode t.dims idx in
-    let outcome = Array.of_list (List.map (fun w -> x.(w)) wires) in
-    let o = encode sub_dims outcome in
-    probs.(o) <- probs.(o) +. Cx.norm2 t.amps.(idx)
-  done;
-  probs
-
-let sample_discrete rng probs =
-  let r = Random.State.float rng 1.0 in
-  let acc = ref 0.0 and chosen = ref (Array.length probs - 1) in
-  (try
-     Array.iteri
-       (fun i p ->
-         acc := !acc +. p;
-         if r < !acc then begin
-           chosen := i;
-           raise Exit
-         end)
-       probs
-   with Exit -> ());
-  !chosen
+  match t with
+  | Dense d -> Backend_dense.probabilities d ~wires
+  | Sparse s -> Backend_sparse.probabilities s ~wires
 
 let measure rng t ~wires =
-  let sub_dims = Array.of_list (List.map (fun w -> t.dims.(w)) wires) in
-  let probs = probabilities t ~wires in
-  let o = sample_discrete rng probs in
-  let outcome = decode sub_dims o in
-  (* Project: zero every amplitude whose selected wires differ. *)
-  let out = Cvec.make (Cvec.dim t.amps) in
-  for idx = 0 to Cvec.dim t.amps - 1 do
-    let x = decode t.dims idx in
-    let matches = List.for_all2 (fun w v -> x.(w) = v) wires (Array.to_list outcome) in
-    if matches then out.(idx) <- t.amps.(idx)
-  done;
-  (outcome, { t with amps = Cvec.normalize out })
+  match t with
+  | Dense d ->
+      let outcome, post = Backend_dense.measure rng d ~wires in
+      (outcome, Dense post)
+  | Sparse s ->
+      let outcome, post = Backend_sparse.measure rng s ~wires in
+      (outcome, Sparse post)
 
 let measure_all rng t =
   let outcome, _ = measure rng t ~wires:(List.init (num_wires t) (fun i -> i)) in
   outcome
 
-let norm t = Cvec.norm t.amps
+let norm = function Dense d -> Backend_dense.norm d | Sparse s -> Backend_sparse.norm s
 
 let approx_equal ?(eps = 1e-9) a b =
-  a.dims = b.dims && Cvec.approx_equal ~eps a.amps b.amps
+  dims a = dims b
+  &&
+  match (a, b) with
+  | Dense x, Dense y -> Backend_dense.approx_equal ~eps x y
+  | Sparse x, Sparse y -> Backend_sparse.approx_equal ~eps x y
+  | _ ->
+      (* Cross-backend: compare over the union of supports.  The dense
+         side iterates its nonzeros (it is under the cap by
+         construction), so this stays linear in materialised data. *)
+      let ok = ref true in
+      iter_nonzero a (fun i z -> if not (Cx.approx_equal ~eps z (amp_at b i)) then ok := false);
+      iter_nonzero b (fun i z -> if not (Cx.approx_equal ~eps z (amp_at a i)) then ok := false);
+      !ok
 
-let pp fmt t =
-  Format.fprintf fmt "@[<v>state over dims [%s]@,%a@]"
-    (String.concat "; " (Array.to_list (Array.map string_of_int t.dims)))
-    Cvec.pp t.amps
+let pp fmt = function
+  | Dense d -> Backend_dense.pp fmt d
+  | Sparse s -> Backend_sparse.pp fmt s

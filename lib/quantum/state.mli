@@ -1,31 +1,81 @@
 (** Pure state-vector simulation of a register of qudits.
 
     A register is a tuple of wires; wire [i] carries a qudit of
-    dimension [dims.(i)].  The joint state is a dense complex vector of
-    dimension [prod dims], indexed in mixed radix with wire 0 most
-    significant.  This is the ground-truth simulator: exact, exponential
-    in memory, used directly for small instances and as the reference
-    implementation that validates the structured fast paths
-    ({!Coset_state}). *)
+    dimension [dims.(i)].  The joint state is indexed in mixed radix
+    with wire 0 most significant, and is held by one of two pluggable
+    backends ({!Backend}):
+
+    - dense — a contiguous complex vector of dimension [prod dims]
+      ({!Backend_dense}); exact, exponential in memory, capped at
+      {!max_total_dim} amplitudes;
+    - sparse — a table of the nonzero amplitudes only
+      ({!Backend_sparse}); cost scales with support size, lifting the
+      cap for the structured states the HSP algorithms prepare (coset
+      states, subgroup states, their Fourier transforms).
+
+    The backend is chosen per state at creation: explicitly via
+    [?backend], globally via {!Backend.set_default} / the [HSP_BACKEND]
+    environment variable, or automatically ([Auto]: dense iff the
+    register fits under the cap).  All operations dispatch on the
+    state's own backend, so downstream code ({!Qft}, {!Circuit},
+    {!Coset_state}, the solvers) is representation-agnostic. *)
 
 type t
 
-val create : int array -> t
-(** [create dims] is the all-zeros basis state [|0,...,0>].
-    @raise Invalid_argument if any dimension is [< 1] or the total
-    dimension overflows a sane bound. *)
+val max_total_dim : int
+(** Alias of {!Backend.dense_cap}: the dense backend's amplitude
+    ceiling, and the pivot of [Auto] backend resolution. *)
 
-val of_basis : int array -> int array -> t
+val backend : t -> Backend.choice
+(** The concrete backend holding this state ([Dense] or [Sparse],
+    never [Auto]). *)
+
+val create : ?backend:Backend.choice -> int array -> t
+(** [create dims] is the all-zeros basis state [|0,...,0>].
+    @raise Invalid_argument if any dimension is [< 1], the total
+    dimension overflows the integer range, or a dense backend was
+    selected for a register beyond {!max_total_dim}. *)
+
+val of_basis : ?backend:Backend.choice -> int array -> int array -> t
 (** [of_basis dims x] is the basis state [|x>]. *)
 
-val of_amplitudes : int array -> Linalg.Cvec.t -> t
-(** Wraps (a copy of) an amplitude vector; normalises. *)
+val of_amplitudes : ?backend:Backend.choice -> int array -> Linalg.Cvec.t -> t
+(** Wraps (a copy of) a full amplitude vector; normalises.  The input
+    is inherently dense, so this only accepts registers whose total
+    dimension is materialisable; prefer {!of_sparse} beyond the cap. *)
+
+val of_sparse : ?backend:Backend.choice -> int array -> (int array * Linalg.Cx.t) list -> t
+(** [of_sparse dims entries] builds the normalised superposition with
+    the given basis-tuple amplitudes (duplicates are summed).  Defaults
+    to the sparse backend even under [Auto] — the explicit support list
+    is the caller saying the state is sparse — and is the only
+    constructor usable beyond {!max_total_dim}.
+    @raise Invalid_argument on an empty or zero-norm support. *)
 
 val dims : t -> int array
 val num_wires : t -> int
 val total_dim : t -> int
+
+val support_size : t -> int
+(** Number of nonzero amplitudes currently stored (for the dense
+    backend, the count of nonzero entries). *)
+
 val amplitudes : t -> Linalg.Cvec.t
-(** A copy of the amplitude vector. *)
+(** The state materialised as a dense copy — an export, not a view of
+    backend internals.
+    @raise Invalid_argument beyond {!max_total_dim}; use {!amp_at} /
+    {!iter_nonzero} there. *)
+
+val amp_at : t -> int -> Linalg.Cx.t
+(** Amplitude at a mixed-radix basis index, any backend, any size. *)
+
+val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
+(** Iterate over the stored nonzero amplitudes (unspecified order). *)
+
+val to_backend : Backend.choice -> t -> t
+(** Convert a state to the given backend (identity if already there;
+    [Auto] re-resolves by total dimension).  Sparse-to-dense raises
+    beyond {!max_total_dim}. *)
 
 val encode : int array -> int array -> int
 (** [encode dims x] is the mixed-radix index of the basis tuple [x]. *)
@@ -34,9 +84,11 @@ val decode : int array -> int -> int array
 (** Inverse of {!encode}. *)
 
 val tensor : t -> t -> t
+(** Mixed-backend operands promote to sparse. *)
 
-val uniform : int array -> t
-(** Uniform superposition over all basis states. *)
+val uniform : ?backend:Backend.choice -> int array -> t
+(** Uniform superposition over all basis states.  Full support, so the
+    register must be materialisable on either backend. *)
 
 val apply_wire : t -> wire:int -> Linalg.Cmat.t -> t
 (** Apply a [d x d] unitary to a single wire of dimension [d]. *)
@@ -47,12 +99,13 @@ val apply_wires : t -> wires:int list -> Linalg.Cmat.t -> t
     product of the wires' dimensions. *)
 
 val apply_dft : t -> wire:int -> inverse:bool -> t
-(** The DFT {!Linalg.Cmat.dft} on one wire, in O(d log d) per fibre
-    (radix-2 or Bluestein FFT, by dimension). *)
+(** The DFT {!Linalg.Cmat.dft} on one wire, in O(d log d) per populated
+    fibre (radix-2 or Bluestein FFT, by dimension). *)
 
 val apply_basis_map : t -> (int array -> int array) -> t
 (** Relabel basis states by a bijection on tuples (a classical
-    reversible circuit).  Bijectivity is checked. *)
+    reversible circuit).  The dense backend checks bijectivity in full;
+    the sparse backend checks injectivity on the support. *)
 
 val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array -> int) -> t
 (** The standard oracle [|x>|y> -> |x>|y + f(x) mod d>] where [d] is
@@ -62,14 +115,21 @@ val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array ->
 val probabilities : t -> wires:int list -> float array
 (** Marginal outcome distribution of measuring the listed wires, as a
     dense array indexed by the mixed-radix encoding of the outcome over
-    those wires' dimensions. *)
+    those wires' dimensions (so the product of those dimensions must be
+    materialisable). *)
 
 val measure : Random.State.t -> t -> wires:int list -> int array * t
 (** Projectively measure the listed wires: returns the outcome tuple
-    and the collapsed, renormalised post-measurement state. *)
+    and the collapsed, renormalised post-measurement state.  The sparse
+    backend samples directly off the support, so measuring all wires of
+    a register beyond {!max_total_dim} is fine. *)
 
 val measure_all : Random.State.t -> t -> int array
 
 val norm : t -> float
+
 val approx_equal : ?eps:float -> t -> t -> bool
+(** Amplitude-wise comparison; works across backends (used by the
+    dense/sparse equivalence test suite). *)
+
 val pp : Format.formatter -> t -> unit

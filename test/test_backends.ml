@@ -1,0 +1,300 @@
+(* Dense/sparse backend equivalence suite.
+
+   The two backends ({!Quantum.Backend_dense}, {!Quantum.Backend_sparse})
+   implement the same {!Quantum.Backend.S} signature; these tests pin
+   down that they are observationally identical wherever both are
+   defined: the same random circuit applied to the same initial state
+   yields the same amplitudes (within 1e-9), marginals and norms.  The
+   sparse backend is additionally exercised beyond the dense 2^24
+   amplitude cap, where no dense reference exists and only structural
+   invariants (support, Fourier-sampling correctness) can be checked. *)
+
+open Quantum
+open Linalg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Random circuit machinery                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A random single-wire unitary assembled from generators we trust
+   (DFT, diagonal phases, cyclic shifts) — products of unitaries stay
+   unitary, no Gram–Schmidt needed. *)
+let random_unitary rng d =
+  let pick () =
+    match Random.State.int rng 3 with
+    | 0 -> Cmat.dft d
+    | 1 ->
+        Cmat.init d d (fun i j ->
+            if i = j then Cx.polar 1.0 (Random.State.float rng 6.28318) else Cx.zero)
+    | _ ->
+        let shift = Random.State.int rng d in
+        Cmat.permutation d (fun k -> (k + shift) mod d)
+  in
+  let m = ref (pick ()) in
+  for _ = 1 to 2 do
+    m := Cmat.mul (pick ()) !m
+  done;
+  !m
+
+type op =
+  | Wire_unitary of int * Cmat.t
+  | Dft of int * bool
+  | Shift_map of int array  (* x_i -> (x_i + c_i) mod d_i, a basis bijection *)
+  | Oracle_add of int list * int
+
+let random_op rng dims =
+  let n = Array.length dims in
+  match Random.State.int rng 4 with
+  | 0 ->
+      let w = Random.State.int rng n in
+      Wire_unitary (w, random_unitary rng dims.(w))
+  | 1 -> Dft (Random.State.int rng n, Random.State.bool rng)
+  | 2 -> Shift_map (Array.map (fun d -> Random.State.int rng d) dims)
+  | _ ->
+      let out = Random.State.int rng n in
+      let ins =
+        List.filter (fun w -> w <> out && Random.State.bool rng) (List.init n (fun i -> i))
+      in
+      Oracle_add (ins, out)
+
+let apply_op dims st = function
+  | Wire_unitary (w, m) -> State.apply_wire st ~wire:w m
+  | Dft (w, inv) -> State.apply_dft st ~wire:w ~inverse:inv
+  | Shift_map c ->
+      State.apply_basis_map st (fun x -> Array.mapi (fun i xi -> (xi + c.(i)) mod dims.(i)) x)
+  | Oracle_add (ins, out) ->
+      State.apply_oracle_add st ~in_wires:ins ~out_wire:out ~f:(fun x ->
+          Array.fold_left (fun acc v -> (3 * acc) + v + 1) 0 x mod dims.(out))
+
+let random_entries rng dims =
+  let k = 1 + Random.State.int rng 6 in
+  List.init k (fun _ ->
+      ( Array.map (fun d -> Random.State.int rng d) dims,
+        Cx.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0) ))
+
+(* ------------------------------------------------------------------ *)
+(* Property: dense and sparse agree on random circuits                *)
+(* ------------------------------------------------------------------ *)
+
+let run_both rng dims =
+  let entries = random_entries rng dims in
+  (* of_sparse sums duplicates and normalises identically on both
+     backends, so the two initial states agree by construction. *)
+  let dense = ref (State.of_sparse ~backend:Backend.Dense dims entries) in
+  let sparse = ref (State.of_sparse ~backend:Backend.Sparse dims entries) in
+  for _ = 1 to 6 do
+    let op = random_op rng dims in
+    dense := apply_op dims !dense op;
+    sparse := apply_op dims !sparse op
+  done;
+  (!dense, !sparse)
+
+let test_random_circuit_agreement () =
+  let rng = Random.State.make [| 0xbac0 |] in
+  for trial = 1 to 40 do
+    let n = 1 + Random.State.int rng 3 in
+    let dims = Array.init n (fun _ -> 2 + Random.State.int rng 4) in
+    let dense, sparse = run_both rng dims in
+    checkb
+      (Printf.sprintf "trial %d: backends stayed put" trial)
+      true
+      (State.backend dense = Backend.Dense && State.backend sparse = Backend.Sparse);
+    checkb
+      (Printf.sprintf "trial %d: amplitudes agree" trial)
+      true
+      (State.approx_equal ~eps:1e-9 dense sparse);
+    checkb
+      (Printf.sprintf "trial %d: norms agree" trial)
+      true
+      (Float.abs (State.norm dense -. State.norm sparse) < 1e-9)
+  done
+
+let test_random_circuit_marginals () =
+  let rng = Random.State.make [| 0xbac1 |] in
+  for trial = 1 to 20 do
+    let dims = [| 2 + Random.State.int rng 3; 2 + Random.State.int rng 3; 2 |] in
+    let dense, sparse = run_both rng dims in
+    let wires = if Random.State.bool rng then [ 0; 2 ] else [ 1 ] in
+    let pd = State.probabilities dense ~wires and ps = State.probabilities sparse ~wires in
+    checki (Printf.sprintf "trial %d: marginal size" trial) (Array.length pd) (Array.length ps);
+    Array.iteri
+      (fun i p ->
+        checkb
+          (Printf.sprintf "trial %d: marginal %d agrees" trial i)
+          true
+          (Float.abs (p -. ps.(i)) < 1e-9))
+      pd;
+    (* A sparse measurement outcome must have positive dense probability
+       (the backends sample by different mechanisms, so we check support
+       agreement, not trajectory agreement). *)
+    let all = List.init (Array.length dims) (fun i -> i) in
+    let outcome, post = State.measure rng sparse ~wires:all in
+    let idx = State.encode dims outcome in
+    checkb
+      (Printf.sprintf "trial %d: outcome in dense support" trial)
+      true
+      (Cx.abs (State.amp_at dense idx) > 1e-9);
+    checkb
+      (Printf.sprintf "trial %d: post-measurement normalised" trial)
+      true
+      (Float.abs (State.norm post -. 1.0) < 1e-9)
+  done
+
+let test_tensor_and_conversion () =
+  let rng = Random.State.make [| 0xbac2 |] in
+  for trial = 1 to 20 do
+    let dims_a = [| 2 + Random.State.int rng 3 |] and dims_b = [| 2; 3 |] in
+    let ea = random_entries rng dims_a and eb = random_entries rng dims_b in
+    let da = State.of_sparse ~backend:Backend.Dense dims_a ea in
+    let sa = State.of_sparse ~backend:Backend.Sparse dims_a ea in
+    let db = State.of_sparse ~backend:Backend.Dense dims_b eb in
+    let sb = State.of_sparse ~backend:Backend.Sparse dims_b eb in
+    checkb
+      (Printf.sprintf "trial %d: tensor agrees" trial)
+      true
+      (State.approx_equal ~eps:1e-9 (State.tensor da db) (State.tensor sa sb));
+    (* mixed-backend tensor promotes to sparse but keeps the amplitudes *)
+    let mixed = State.tensor da sb in
+    checkb
+      (Printf.sprintf "trial %d: mixed tensor sparse" trial)
+      true
+      (State.backend mixed = Backend.Sparse);
+    checkb
+      (Printf.sprintf "trial %d: mixed tensor agrees" trial)
+      true
+      (State.approx_equal ~eps:1e-9 mixed (State.tensor da db));
+    (* round-trip conversion is the identity *)
+    checkb
+      (Printf.sprintf "trial %d: conversion round-trip" trial)
+      true
+      (State.approx_equal ~eps:1e-12 da (State.to_backend Backend.Dense (State.to_backend Backend.Sparse da)))
+  done
+
+(* QCheck variant: the invariant as a property over generated seeds,
+   so shrinking points at a minimal failing circuit seed. *)
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~count:60 ~name:"dense/sparse agree on random circuits" (int_bound 100000)
+      (fun seed ->
+        let rng = Random.State.make [| seed; 0xfeed |] in
+        let dims = Array.init (1 + Random.State.int rng 3) (fun _ -> 2 + Random.State.int rng 4) in
+        let dense, sparse = run_both rng dims in
+        State.approx_equal ~eps:1e-9 dense sparse);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sparse beyond the dense cap                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* |G| = 8192 * 4096 = 2^25 > 2^24: the dense backend must refuse this
+   register while sparse runs the whole Fourier-sampling round on it. *)
+let big_dims = [| 8192; 4096 |]
+let big_moduli = [| 128; 64 |]
+
+let big_coset x0 =
+  let choices i =
+    List.init (big_dims.(i) / big_moduli.(i)) (fun k ->
+        (x0.(i) + (k * big_moduli.(i))) mod big_dims.(i))
+  in
+  List.concat_map (fun a -> List.map (fun b -> [| a; b |]) (choices 1)) (choices 0)
+
+let test_sparse_coset_beyond_cap () =
+  let rng = Random.State.make [| 0xb16 |] in
+  checkb "beyond the cap" true (Backend.total_of big_dims > State.max_total_dim);
+  Alcotest.check_raises "dense refuses"
+    (Invalid_argument "State: register too large to simulate") (fun () ->
+      ignore (State.create ~backend:Backend.Dense big_dims));
+  let x0 = [| 3; 5 |] in
+  let members = big_coset x0 in
+  let amp = Cx.re (1.0 /. sqrt (float_of_int (List.length members))) in
+  let st = State.of_sparse big_dims (List.map (fun x -> (x, amp)) members) in
+  checkb "sparse backend" true (State.backend st = Backend.Sparse);
+  checki "coset support" (List.length members) (State.support_size st);
+  let st = Qft.forward st ~wires:[ 0; 1 ] in
+  (* The Fourier transform of |x0 + H> is supported on the annihilator
+     H^perp = { y : y_i * m_i = 0 mod d_i }, of size |G| / |H|. *)
+  let hperp_order = Backend.total_of big_dims / List.length members in
+  checkb "fourier support <= |H^perp|" true (State.support_size st <= hperp_order);
+  State.iter_nonzero st (fun idx _ ->
+      let y = State.decode big_dims idx in
+      checkb "character annihilates H" true
+        (y.(0) * big_moduli.(0) mod big_dims.(0) = 0
+        && y.(1) * big_moduli.(1) mod big_dims.(1) = 0));
+  (* measure_all never materialises the 2^25 outcome space *)
+  for _ = 1 to 5 do
+    let y = State.measure_all rng st in
+    checkb "measured character annihilates H" true
+      (y.(0) * big_moduli.(0) mod big_dims.(0) = 0
+      && y.(1) * big_moduli.(1) mod big_dims.(1) = 0)
+  done
+
+let test_sparse_solve_beyond_cap () =
+  let rng = Random.State.make [| 0xb17 |] in
+  let queries = Quantum.Query.create () in
+  let draw = Coset_state.sampler_with_support ~dims:big_dims ~coset:big_coset ~queries () in
+  let in_h x = Array.for_all2 (fun xi m -> xi mod m = 0) x big_moduli in
+  let f x = Backend.encode big_moduli (Array.map2 (fun xi m -> xi mod m) x big_moduli) in
+  let gens, _ =
+    Hsp.Abelian_hsp.solve_dims rng ~draw ~dims:big_dims ~f ~quantum:queries ~verify:in_h ()
+  in
+  checkb "found generators" true (gens <> []);
+  checkb "generators lie in H" true (List.for_all in_h gens);
+  (* The closure of the recovered generators must be all of H.  H is a
+     product grid, so its order is known in closed form and small
+     enough to enumerate even though |G| is not. *)
+  let tbl = Hashtbl.create 97 in
+  Hashtbl.replace tbl (0, 0) ();
+  let frontier = ref [ (0, 0) ] in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun (a, b) ->
+        List.iter
+          (fun g ->
+            let y = ((a + g.(0)) mod big_dims.(0), (b + g.(1)) mod big_dims.(1)) in
+            if not (Hashtbl.mem tbl y) then begin
+              Hashtbl.replace tbl y ();
+              next := y :: !next
+            end)
+          gens)
+      !frontier;
+    frontier := !next
+  done;
+  let h_order =
+    (big_dims.(0) / big_moduli.(0)) * (big_dims.(1) / big_moduli.(1))
+  in
+  checki "generators generate H" h_order (Hashtbl.length tbl)
+
+let test_sparse_pruning () =
+  (* Destructive interference must shrink the table: DFT then inverse
+     DFT of a basis state passes through full support and returns to a
+     single entry (up to the pruning epsilon). *)
+  let dims = [| 64 |] in
+  let st = State.of_basis ~backend:Backend.Sparse dims [| 17 |] in
+  let st = State.apply_dft st ~wire:0 ~inverse:false in
+  checki "full support mid-flight" 64 (State.support_size st);
+  let st = State.apply_dft st ~wire:0 ~inverse:true in
+  checki "pruned back to a point" 1 (State.support_size st);
+  checkb "right point" true (Cx.abs (State.amp_at st 17) > 0.999)
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "random circuits" `Quick test_random_circuit_agreement;
+          Alcotest.test_case "marginals + measurement" `Quick test_random_circuit_marginals;
+          Alcotest.test_case "tensor + conversion" `Quick test_tensor_and_conversion;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "beyond-cap",
+        [
+          Alcotest.test_case "coset state at 2^25" `Quick test_sparse_coset_beyond_cap;
+          Alcotest.test_case "end-to-end solve at 2^25" `Slow test_sparse_solve_beyond_cap;
+          Alcotest.test_case "amplitude pruning" `Quick test_sparse_pruning;
+        ] );
+    ]

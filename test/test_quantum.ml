@@ -116,7 +116,11 @@ let test_probabilities_marginal () =
 
 let test_register_too_large () =
   Alcotest.check_raises "guard" (Invalid_argument "State: register too large to simulate")
-    (fun () -> ignore (State.create (Array.make 30 4)))
+    (fun () -> ignore (State.create ~backend:Backend.Dense (Array.make 30 4)));
+  (* under Auto the same register now falls back to the sparse backend *)
+  let st = State.create (Array.make 30 4) in
+  checkb "sparse fallback" true (State.backend st = Backend.Sparse);
+  checki "singleton support" 1 (State.support_size st)
 
 (* ------------------------------------------------------------------ *)
 (* Gates and circuits                                                 *)
@@ -288,7 +292,10 @@ let test_sampler_full_matches_fast () =
     done;
     h
   in
-  let h_fast = histo Coset_state.sample and h_full = histo Coset_state.sample_full in
+  let h_fast = histo Coset_state.sample
+  and h_full =
+    histo (fun rng ~dims ~f ~queries -> Coset_state.sample_full rng ~dims ~f ~queries ())
+  in
   (* both should be supported exactly on the annihilator (4 elements,
      1000 each expected); allow generous slack *)
   for idx = 0 to total - 1 do
@@ -351,7 +358,7 @@ let test_state_valued_sampler () =
     if (x.(0) + x.(1)) mod 2 = 0 then Linalg.Cvec.basis 2 0 else Linalg.Cvec.basis 2 1
   in
   let queries = Query.create () in
-  let draw = Coset_state.sampler_state_valued ~dims ~f:basis_for ~queries in
+  let draw = Coset_state.sampler_state_valued ~dims ~f:basis_for ~queries () in
   let rng = rng () in
   for _ = 1 to 30 do
     let y = draw rng in
