@@ -596,7 +596,8 @@ let e9 () =
 let e10 () =
   header
     "E10: dense vs sparse backend — planted Abelian HSP on Z_d1 x Z_d2, H = prod m_i Z_di"
-    [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "q-quant"; fmt_s "ok"; fmt_s "sec" ];
+    [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "q-quant"; fmt_s "gates";
+      fmt_s "dft-fib"; fmt_s "peak-sup"; fmt_s "peak-dns"; fmt_s "ok"; fmt_s "sec" ];
   let solve_planted ~dims ~moduli ~backend =
     let r = Array.length dims in
     let coset x0 =
@@ -616,12 +617,13 @@ let e10 () =
     let draw = Quantum.Coset_state.sampler_with_support ~backend ~dims ~coset ~queries () in
     let in_h x = Array.for_all2 (fun xi m -> xi mod m = 0) x moduli in
     let f x = Quantum.Backend.encode moduli (Array.map2 (fun xi m -> xi mod m) x moduli) in
+    Quantum.Metrics.reset ();
     let (gens, _), sec =
       time_it (fun () ->
           Abelian_hsp.solve_dims rng ~draw ~dims ~f ~quantum:queries ~verify:in_h ())
     in
     let ok = gens <> [] && List.for_all in_h gens in
-    (ok, Quantum.Query.count queries, sec)
+    (ok, Quantum.Query.count queries, sec, Quantum.Metrics.snapshot ())
   in
   let total dims = Array.fold_left ( * ) 1 dims in
   let show dims = String.concat "x" (List.map string_of_int (Array.to_list dims)) in
@@ -632,13 +634,16 @@ let e10 () =
           if backend = Quantum.Backend.Dense && total dims > Quantum.State.max_total_dim then
             row
               [ fmt_s (show dims); fmt_i (total dims); fmt_s "dense"; fmt_s "-"; fmt_s "-";
-                fmt_s "(>cap)" ]
+                fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "(>cap)" ]
           else begin
-            let ok, q, sec = solve_planted ~dims ~moduli ~backend in
+            let ok, q, sec, m = solve_planted ~dims ~moduli ~backend in
             row
               [ fmt_s (show dims); fmt_i (total dims);
                 fmt_s (Quantum.Backend.choice_to_string backend); fmt_i q;
-                fmt_s (string_of_bool ok); fmt_f sec ]
+                fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
+                fmt_i m.Quantum.Metrics.dft_fibres; fmt_i m.Quantum.Metrics.peak_support;
+                fmt_i m.Quantum.Metrics.peak_dense_alloc; fmt_s (string_of_bool ok);
+                fmt_f sec ]
           end)
         [ Quantum.Backend.Dense; Quantum.Backend.Sparse ])
     [
@@ -646,6 +651,81 @@ let e10 () =
       ([| 512; 512 |], [| 16; 32 |]);
       ([| 8192; 8192 |], [| 64; 128 |]);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: one small instance per theorem — the CI gate.  Fast, runs   *)
+(* through Runner so each row carries the ok verdict and the ledger;  *)
+(* CI fails the build if any ok cell is false.                        *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  header "Smoke: one small instance per theorem (CI gate)"
+    [ fmt_s "instance"; fmt_s "algo"; fmt_s "thm"; fmt_s "ok"; fmt_s "q-quant";
+      fmt_s "gates"; fmt_s "sec" ];
+  let emit thm (r : Runner.report) =
+    row
+      [ fmt_s r.Runner.instance; fmt_s r.Runner.algorithm; fmt_s thm;
+        fmt_s (string_of_bool r.Runner.ok); fmt_i r.Runner.quantum_queries;
+        fmt_i
+          (r.Runner.metrics.Quantum.Metrics.gate_apps
+          + r.Runner.metrics.Quantum.Metrics.dft_apps);
+        fmt_f r.Runner.seconds ]
+  in
+  emit "3"
+    (Runner.run ~algorithm:"abelian"
+       (Instances.simon ~n:4 ~mask:[| 1; 0; 1; 1 |])
+       ~solver:(fun i -> Abelian_hsp.solve rng i.Instances.group i.Instances.hiding));
+  emit "8"
+    (Runner.run ~algorithm:"normal"
+       (Instances.dihedral_rotation ~n:12 ~d:2)
+       ~solver:(fun i ->
+         (Normal_hsp.solve rng i.Instances.group i.Instances.hiding).Normal_hsp.generators));
+  emit "11"
+    (Runner.run ~algorithm:"commutator"
+       (Instances.heisenberg_random rng ~p:3 ~m:1)
+       ~solver:(fun i -> Small_commutator.solve_gens rng i.Instances.group i.Instances.hiding));
+  emit "13g"
+    (Runner.run ~algorithm:"thm13-general"
+       (Instances.wreath_random rng ~k:2)
+       ~solver:(fun i ->
+         (Elem_abelian2.solve_general rng i.Instances.group ~n_gens:(Wreath.base_gens 2)
+            i.Instances.hiding)
+           .Elem_abelian2.generators));
+  emit "13c"
+    (Runner.run ~algorithm:"thm13-cyclic"
+       (Instances.semidirect_random rng ~n:4 ~m:2)
+       ~solver:(fun i ->
+         (Elem_abelian2.solve_cyclic rng i.Instances.group
+            ~n_gens:(Semidirect.base_gens ~n:4) i.Instances.hiding)
+           .Elem_abelian2.generators));
+  (* Theorems 4 and 6 have no Instances wrapper; their checks are
+     closed-form. *)
+  let gates () =
+    let m = Quantum.Metrics.snapshot () in
+    m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps
+  in
+  Quantum.Metrics.reset ();
+  let queries = Quantum.Query.create () in
+  let o, sec =
+    time_it (fun () ->
+        Quantum.Shor.find_order rng
+          ~pow:(fun k -> Numtheory.Arith.powmod 2 k 15)
+          ~order_bound:15 ~queries)
+  in
+  row
+    [ fmt_s "ord(2 mod 15)"; fmt_s "shor"; fmt_s "4"; fmt_s (string_of_bool (o = Some 4));
+      fmt_i (Quantum.Query.count queries); fmt_i (gates ()); fmt_f sec ];
+  Quantum.Metrics.reset ();
+  let z = Cyclic.product [| 12; 18 |] in
+  let queries = Quantum.Query.create () in
+  let res, sec =
+    time_it (fun () ->
+        Membership.express rng z ~hs:[ [| 2; 3 |]; [| 0; 6 |] ] [| 4; 0 |] ~order_bound:36
+          ~queries)
+  in
+  row
+    [ fmt_s "Z12xZ18"; fmt_s "membership"; fmt_s "6"; fmt_s (string_of_bool (res <> None));
+      fmt_i (Quantum.Query.count queries); fmt_i (gates ()); fmt_f sec ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment            *)
@@ -728,6 +808,7 @@ let () =
           match List.assoc_opt name all with
           | Some f -> f ()
           | None when name = "micro" -> micro ()
+          | None when name = "smoke" -> smoke ()
           | None -> Printf.printf "unknown experiment %s\n" name)
         selected);
   if !tables <> [] then write_json ()

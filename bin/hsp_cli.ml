@@ -42,6 +42,38 @@ let backend_arg =
 
 let set_backend = function None -> () | Some c -> Quantum.Backend.set_default c
 
+(* Options shared by every subcommand: backend selection plus the two
+   observability switches. *)
+type common = {
+  backend : Quantum.Backend.choice option;
+  trace : bool;
+  metrics : bool;
+}
+
+let trace_arg =
+  let doc =
+    "Emit structured cost-ledger trace events (phase completions, per-round sampler      events) through the $(b,hsp.trace) log source while the algorithm runs."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the simulator cost ledger after the run: gate and DFT applications, fibre      counts, basis-map/oracle ops, peak sparse support, pruned amplitudes, peak dense      allocation, and per-phase wall-clock seconds."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let common_arg =
+  let make backend trace metrics = { backend; trace; metrics } in
+  Term.(const make $ backend_arg $ trace_arg $ metrics_arg)
+
+let setup common =
+  set_backend common.backend;
+  Quantum.Metrics.reset ();
+  if common.trace then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Log.install_trace ()
+  end
+
 (* Invalid_argument out of the solvers is user-facing misconfiguration
    (bad HSP_BACKEND value, a register the chosen backend cannot hold,
    invalid instance parameters), not an internal error — report it as
@@ -51,6 +83,15 @@ let guard f =
   with Invalid_argument msg ->
     Printf.eprintf "hsp: %s\n" msg;
     2
+
+(* Run the command body under [guard], then print the accumulated
+   ledger if --metrics was given (even after a failed run: partial
+   costs are still informative). *)
+let finish common f =
+  let code = guard f in
+  if common.metrics then
+    Format.printf "%a@." Quantum.Metrics.pp (Quantum.Metrics.snapshot ());
+  code
 
 let report inst gens =
   let ok = Group.subgroup_equal inst.Instances.group gens inst.Instances.hidden_gens in
@@ -70,9 +111,9 @@ let simon_cmd =
   let mask_arg =
     Arg.(value & opt string "101010" & info [ "mask" ] ~doc:"Secret bit mask, e.g. 10110.")
   in
-  let run backend seed n mask =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed n mask =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     let mask_bits =
       Array.init (String.length mask) (fun i -> Char.code mask.[i] - Char.code '0')
@@ -90,16 +131,16 @@ let simon_cmd =
   in
   Cmd.v
     (Cmd.info "solve-simon" ~doc:"Solve Simon's problem (Abelian HSP on Z_2^n).")
-    Term.(const run $ backend_arg $ seed_arg $ n_arg $ mask_arg)
+    Term.(const run $ common_arg $ seed_arg $ n_arg $ mask_arg)
 
 let dihedral_cmd =
   let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"D_n: the n-gon.") in
   let d_arg =
     Arg.(value & opt int 4 & info [ "d" ] ~doc:"Hidden normal rotation subgroup <s^d>; d | n.")
   in
-  let run backend seed n d =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed n d =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "Hidden normal subgroup <s^%d> of D_%d (Theorem 8)\n" d n;
     let inst = Instances.dihedral_rotation ~n ~d in
@@ -109,13 +150,13 @@ let dihedral_cmd =
   in
   Cmd.v
     (Cmd.info "solve-dihedral" ~doc:"Find a hidden normal rotation subgroup of D_n (Theorem 8).")
-    Term.(const run $ backend_arg $ seed_arg $ n_arg $ d_arg)
+    Term.(const run $ common_arg $ seed_arg $ n_arg $ d_arg)
 
 let heisenberg_cmd =
   let p_arg = Arg.(value & opt int 3 & info [ "p" ] ~doc:"Prime p; the group is H_p, order p^3.") in
-  let run backend seed p =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed p =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in the extra-special group H_%d (Theorem 11 / Corollary 12)\n" p;
     let inst = Instances.heisenberg_random rng ~p ~m:1 in
@@ -125,13 +166,13 @@ let heisenberg_cmd =
   in
   Cmd.v
     (Cmd.info "solve-heisenberg" ~doc:"Solve a random HSP instance in an extra-special p-group.")
-    Term.(const run $ backend_arg $ seed_arg $ p_arg)
+    Term.(const run $ common_arg $ seed_arg $ p_arg)
 
 let wreath_cmd =
   let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"The group is Z_2^k wr Z_2.") in
-  let run backend seed k =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed k =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in Z_2^%d wr Z_2 (Theorem 13, general case)\n" k;
     let inst = Instances.wreath_random rng ~k in
@@ -144,14 +185,14 @@ let wreath_cmd =
   in
   Cmd.v
     (Cmd.info "solve-wreath" ~doc:"Solve a random HSP instance in a wreath product (Theorem 13).")
-    Term.(const run $ backend_arg $ seed_arg $ k_arg)
+    Term.(const run $ common_arg $ seed_arg $ k_arg)
 
 let semidirect_cmd =
   let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Base Z_2^n.") in
   let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Cyclic top Z_m; m | n.") in
-  let run backend seed n m =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed n m =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in Z_2^%d x| Z_%d (Theorem 13, cyclic factor)\n" n m;
     let inst = Instances.semidirect_random rng ~n ~m in
@@ -166,7 +207,7 @@ let semidirect_cmd =
   Cmd.v
     (Cmd.info "solve-semidirect"
        ~doc:"Solve a random HSP instance in Z_2^n x| Z_m (Theorem 13, polynomial case).")
-    Term.(const run $ backend_arg $ seed_arg $ n_arg $ m_arg)
+    Term.(const run $ common_arg $ seed_arg $ n_arg $ m_arg)
 
 let abelian_cmd =
   let dims_arg =
@@ -191,9 +232,9 @@ let abelian_cmd =
       Array.of_list (List.map (fun t -> int_of_string (String.trim t)) parts)
     with _ -> invalid_arg (Printf.sprintf "%s: expected comma-separated integers, got %S" label s)
   in
-  let run backend seed dims_s moduli_s =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed dims_s moduli_s =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     let dims = parse_ints "--dims" dims_s in
     let moduli = parse_ints "--moduli" moduli_s in
@@ -288,13 +329,13 @@ let abelian_cmd =
           prod m_i Z_di.  With --backend sparse (or auto), group sizes far beyond the \
           dense 2^24 amplitude cap are simulable, because coset states and their Fourier \
           transforms have support |H| and |G|/|H| restricted to a small product grid.")
-    Term.(const run $ backend_arg $ seed_arg $ dims_arg $ moduli_arg)
+    Term.(const run $ common_arg $ seed_arg $ dims_arg $ moduli_arg)
 
 let dicyclic_cmd =
   let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"The group is Q_4n.") in
-  let run backend seed n =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed n =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "HSP in the dicyclic group Q_%d (Theorem 11; |G'| = %d)\n" (4 * n) n;
     let inst = Instances.dicyclic_random rng ~n in
@@ -303,14 +344,14 @@ let dicyclic_cmd =
   in
   Cmd.v
     (Cmd.info "solve-dicyclic" ~doc:"Solve a random HSP instance in a dicyclic group (Theorem 11).")
-    Term.(const run $ backend_arg $ seed_arg $ n_arg)
+    Term.(const run $ common_arg $ seed_arg $ n_arg)
 
 let frobenius_cmd =
   let p_arg = Arg.(value & opt int 7 & info [ "p" ] ~doc:"Prime base Z_p.") in
   let q_arg = Arg.(value & opt int 3 & info [ "q" ] ~doc:"Prime top Z_q; q | p-1.") in
-  let run backend seed p q =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed p q =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     Printf.printf "Hidden translation subgroup of the Frobenius group Z_%d x| Z_%d (Theorem 8)\n"
       p q;
@@ -322,13 +363,13 @@ let frobenius_cmd =
   Cmd.v
     (Cmd.info "solve-frobenius"
        ~doc:"Find the hidden normal translation subgroup of a Frobenius group (Theorem 8).")
-    Term.(const run $ backend_arg $ seed_arg $ p_arg $ q_arg)
+    Term.(const run $ common_arg $ seed_arg $ p_arg $ q_arg)
 
 let factor_cmd =
   let n_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
-  let run backend seed n =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed n =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     match Quantum.Shor.factor rng n with
     | Some (a, b) ->
@@ -343,15 +384,15 @@ let factor_cmd =
   in
   Cmd.v
     (Cmd.info "factor" ~doc:"Factor an integer with simulated Shor order finding.")
-    Term.(const run $ backend_arg $ seed_arg $ n_arg)
+    Term.(const run $ common_arg $ seed_arg $ n_arg)
 
 let dlog_cmd =
   let p_arg = Arg.(value & opt int 101 & info [ "p" ] ~doc:"Prime modulus.") in
   let g_arg = Arg.(value & opt int 2 & info [ "g" ] ~doc:"Base.") in
   let h_arg = Arg.(value & opt int 55 & info [ "target" ] ~doc:"Target element h.") in
-  let run backend seed p g h =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed p g h =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     match Dlog.discrete_log rng ~p ~g ~h with
     | Some l ->
@@ -363,14 +404,14 @@ let dlog_cmd =
   in
   Cmd.v
     (Cmd.info "dlog" ~doc:"Discrete logarithm in Z_p^* via Abelian Fourier sampling.")
-    Term.(const run $ backend_arg $ seed_arg $ p_arg $ g_arg $ h_arg)
+    Term.(const run $ common_arg $ seed_arg $ p_arg $ g_arg $ h_arg)
 
 let order_cmd =
   let modulus_arg = Arg.(value & opt int 77 & info [ "modulus" ] ~doc:"Modulus N.") in
   let base_arg = Arg.(value & opt int 2 & info [ "base" ] ~doc:"Element of Z_N^*.") in
-  let run backend seed modulus base =
-    set_backend backend;
-    guard @@ fun () ->
+  let run common seed modulus base =
+    setup common;
+    finish common @@ fun () ->
     let rng = rng_of_seed seed in
     let queries = Quantum.Query.create () in
     match
@@ -388,7 +429,7 @@ let order_cmd =
   in
   Cmd.v
     (Cmd.info "order" ~doc:"Multiplicative order via simulated Shor period finding.")
-    Term.(const run $ backend_arg $ seed_arg $ modulus_arg $ base_arg)
+    Term.(const run $ common_arg $ seed_arg $ modulus_arg $ base_arg)
 
 let () =
   (* HSP_DEBUG=1 turns on solver-internal debug logging *)

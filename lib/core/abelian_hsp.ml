@@ -22,7 +22,10 @@ let solve_dims rng ?backend ?draw ~dims ~f ~quantum ?verify () =
       invalid_arg "Abelian_hsp.solve_dims: sampling failed to converge (is f a hiding function?)";
     let fresh = List.init batch (fun _ -> draw rng) in
     let samples = samples @ fresh in
-    let gens = Quantum.Coset_state.annihilator_subgroup ~dims samples in
+    let gens =
+      Quantum.Metrics.phase "classical" (fun () ->
+          Quantum.Coset_state.annihilator_subgroup ~dims samples)
+    in
     if List.for_all verify gens then begin
       Log.debug (fun m ->
           m "abelian HSP solved: %d samples, %d generators" (List.length samples)

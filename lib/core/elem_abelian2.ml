@@ -49,7 +49,8 @@ let assemble rng (g : 'a Group.t) (hiding : 'a Hiding.t) dec transversal =
       (fun z -> if g.Group.equal z g.Group.id then None else probe rng g hiding dec z)
       transversal
   in
-  Normal_hsp.generating_subset g (h_cap_n_gens @ collected)
+  Quantum.Metrics.phase "classical" (fun () ->
+      Normal_hsp.generating_subset g (h_cap_n_gens @ collected))
 
 let solve_general rng (g : 'a Group.t) ~n_gens (hiding : 'a Hiding.t) =
   let dec = Abelian.decompose_subgroup g n_gens in

@@ -41,7 +41,10 @@ let solve rng ~n (hiding : Dihedral.elt Hiding.t) =
          distribution is invariant under d <-> n - d (cos^2 is even up
          to the parity flip), so the maximiser can be tied; verify
          every near-maximal candidate with O(1) classical queries. *)
-      let lls = Array.init n (fun d' -> log_likelihood n samples d') in
+      let lls =
+        Quantum.Metrics.phase "classical" (fun () ->
+            Array.init n (fun d' -> log_likelihood n samples d'))
+      in
       let best_ll = Array.fold_left max neg_infinity lls in
       let candidates =
         List.filter (fun d' -> lls.(d') >= best_ll -. 1e-6) (List.init n Fun.id)

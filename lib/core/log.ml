@@ -3,3 +3,22 @@
 let src = Logs.Src.create "hsp" ~doc:"Hidden subgroup problem solvers"
 
 include (val Logs.src_log src : Logs.LOG)
+
+(* Separate source for the structured cost-ledger trace stream so it
+   can be enabled (hsp_cli --trace) without drowning in solver debug
+   chatter, and vice versa. *)
+let trace_src = Logs.Src.create "hsp.trace" ~doc:"Structured cost-ledger trace events"
+
+module Trace = (val Logs.src_log trace_src : Logs.LOG)
+
+let install_trace () =
+  Logs.Src.set_level trace_src (Some Logs.Info);
+  Quantum.Metrics.set_tracer
+    (Some
+       (fun event fields ->
+         Trace.info (fun m ->
+             m "%s%s" event
+               (String.concat ""
+                  (List.map (fun (k, v) -> " " ^ k ^ "=" ^ v) fields)))))
+
+let uninstall_trace () = Quantum.Metrics.set_tracer None

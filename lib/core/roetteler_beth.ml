@@ -32,4 +32,5 @@ let solve rng ~k (hiding : Wreath.elt Hiding.t) =
       gens
   in
   let collected = match swap_witness with Some h -> [ h ] | None -> [] in
-  Normal_hsp.generating_subset g (h_cap_n @ collected)
+  Quantum.Metrics.phase "classical" (fun () ->
+      Normal_hsp.generating_subset g (h_cap_n @ collected))

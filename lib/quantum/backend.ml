@@ -69,11 +69,15 @@ let strides dims =
   s
 
 let sample_discrete rng probs =
+  if Array.length probs = 0 then invalid_arg "Backend.sample_discrete: empty distribution";
   let r = Random.State.float rng 1.0 in
-  let acc = ref 0.0 and chosen = ref (Array.length probs - 1) in
+  (* Floating-point rounding can leave sum(probs) < r; the fallback must
+     be the last index carrying mass, never a zero-probability outcome. *)
+  let acc = ref 0.0 and chosen = ref (-1) and last_nonzero = ref (-1) in
   (try
      Array.iteri
        (fun i p ->
+         if p > 0.0 then last_nonzero := i;
          acc := !acc +. p;
          if r < !acc then begin
            chosen := i;
@@ -81,7 +85,9 @@ let sample_discrete rng probs =
          end)
        probs
    with Exit -> ());
-  !chosen
+  if !chosen >= 0 then !chosen
+  else if !last_nonzero >= 0 then !last_nonzero
+  else invalid_arg "Backend.sample_discrete: zero distribution"
 
 module type S = sig
   type t

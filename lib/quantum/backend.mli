@@ -70,7 +70,9 @@ val strides : int array -> int array
 val sample_discrete : Random.State.t -> float array -> int
 (** Draw an index distributed according to the (near-)probability
     vector; mass deficits from floating-point error fall on the last
-    index. *)
+    index with nonzero probability (never on a zero-probability
+    outcome).
+    @raise Invalid_argument on an empty or all-zero vector. *)
 
 (** The operations a backend provides; {!Backend_dense} and
     {!Backend_sparse} both satisfy this signature, and the equivalence

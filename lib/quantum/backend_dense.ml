@@ -5,6 +5,7 @@ type t = { dims : int array; amps : Cvec.t }
 let total_of dims =
   let total = Backend.total_of dims in
   if total > Backend.dense_cap then invalid_arg "State: register too large to simulate";
+  Metrics.record_dense_alloc total;
   total
 
 let create dims =
@@ -101,6 +102,7 @@ let apply_wires t ~wires m =
     done;
     sub_offsets.(s) <- !off
   done;
+  Metrics.add_gate_fibres rest_total;
   let out = Cvec.make (Cvec.dim t.amps) in
   let fibre = Cvec.make sub_total in
   for r = 0 to rest_total - 1 do
@@ -123,6 +125,9 @@ let apply_wire t ~wire m = apply_wires t ~wires:[ wire ] m
 
 let apply_dft t ~wire ~inverse =
   let d = t.dims.(wire) in
+  (* Every length-d fibre of the register is transformed, populated or
+     not: total/d fibres — the dense cost the sparse backend avoids. *)
+  Metrics.add_dft_fibres (Cvec.dim t.amps / d);
   if d > 4 then begin
     (* FFT fast path: transform each fibre along the wire in place. *)
     let str = (Backend.strides t.dims).(wire) in

@@ -6,31 +6,50 @@ open Linalg
    beyond the dense 2^24 cap are representable as long as the states
    that actually arise keep small support. *)
 
-type t = { dims : int array; total : int; str : int array; tbl : (int, Cx.t) Hashtbl.t }
+type t = {
+  dims : int array;
+  total : int;
+  str : int array;
+  tbl : (int, Cx.t) Hashtbl.t;
+  eps : float;
+      (* pruning threshold of THIS state, fixed at construction and
+         carried through every derived state — a later change of the
+         session default must not contaminate states already built *)
+}
 
 let prune_epsilon = ref 1e-12
 
-let set_prune_epsilon e =
-  if e < 0.0 then invalid_arg "Backend_sparse.set_prune_epsilon: negative epsilon";
-  prune_epsilon := e
+let check_eps e =
+  if e < 0.0 then invalid_arg "Backend_sparse: negative pruning epsilon";
+  e
 
+let set_prune_epsilon e = prune_epsilon := check_eps e
 let prune_eps () = !prune_epsilon
+let prune_eps_of t = t.eps
 
-let put tbl idx z = if Cx.abs z > !prune_epsilon then Hashtbl.replace tbl idx z
+let put eps tbl idx z =
+  if Cx.abs z > eps then Hashtbl.replace tbl idx z
+  else if Cx.abs z > 0.0 then Metrics.record_pruned ()
 
-let make_frame dims =
+(* Sample the support high-water mark after an operation settles. *)
+let noted t =
+  Metrics.record_support (Hashtbl.length t.tbl);
+  t
+
+let make_frame ?prune_eps:e dims =
   let total = Backend.total_of dims in
-  { dims = Array.copy dims; total; str = Backend.strides dims; tbl = Hashtbl.create 64 }
+  let eps = match e with Some e -> check_eps e | None -> !prune_epsilon in
+  { dims = Array.copy dims; total; str = Backend.strides dims; tbl = Hashtbl.create 64; eps }
 
-let create dims =
-  let t = make_frame dims in
+let create ?prune_eps dims =
+  let t = make_frame ?prune_eps dims in
   Hashtbl.replace t.tbl 0 Cx.one;
-  t
+  noted t
 
-let of_basis dims x =
-  let t = make_frame dims in
+let of_basis ?prune_eps dims x =
+  let t = make_frame ?prune_eps dims in
   Hashtbl.replace t.tbl (Backend.encode dims x) Cx.one;
-  t
+  noted t
 
 let norm2 t = Hashtbl.fold (fun _ z acc -> acc +. Cx.norm2 z) t.tbl 0.0
 let norm t = sqrt (norm2 t)
@@ -45,14 +64,21 @@ let normalize t =
     { t with tbl }
   end
 
-let of_amplitudes dims v =
-  let t = make_frame dims in
+let of_amplitudes ?prune_eps dims v =
+  let t = make_frame ?prune_eps dims in
   if Cvec.dim v <> t.total then invalid_arg "State.of_amplitudes: dimension mismatch";
-  Array.iteri (fun idx z -> put t.tbl idx z) v;
-  normalize t
+  Array.iteri (fun idx z -> put t.eps t.tbl idx z) v;
+  noted (normalize t)
 
-let of_support dims entries =
-  let t = make_frame dims in
+(* Re-filter a settled table through the state's threshold (duplicates
+   summed during construction may have landed below it). *)
+let prune t =
+  let out = Hashtbl.create (Hashtbl.length t.tbl) in
+  Hashtbl.iter (fun idx z -> put t.eps out idx z) t.tbl;
+  { t with tbl = out }
+
+let of_support ?prune_eps dims entries =
+  let t = make_frame ?prune_eps dims in
   if entries = [] then invalid_arg "State.of_support: empty support";
   List.iter
     (fun (x, a) ->
@@ -60,7 +86,7 @@ let of_support dims entries =
       let prev = Option.value ~default:Cx.zero (Hashtbl.find_opt t.tbl idx) in
       Hashtbl.replace t.tbl idx (Cx.add prev a))
     entries;
-  normalize t
+  noted (prune (normalize t))
 
 let dims t = Array.copy t.dims
 let num_wires t = Array.length t.dims
@@ -78,22 +104,23 @@ let amp_at t idx = Option.value ~default:Cx.zero (Hashtbl.find_opt t.tbl idx)
 let iter_nonzero t f = Hashtbl.iter (fun idx z -> f idx z) t.tbl
 
 let tensor a b =
-  let out = make_frame (Array.append a.dims b.dims) in
+  (* The product inherits the left operand's pruning threshold. *)
+  let out = make_frame ~prune_eps:a.eps (Array.append a.dims b.dims) in
   Hashtbl.iter
     (fun ia za ->
-      Hashtbl.iter (fun ib zb -> put out.tbl ((ia * b.total) + ib) (Cx.mul za zb)) b.tbl)
+      Hashtbl.iter (fun ib zb -> put out.eps out.tbl ((ia * b.total) + ib) (Cx.mul za zb)) b.tbl)
     a.tbl;
-  out
+  noted out
 
-let uniform dims =
-  let t = make_frame dims in
+let uniform ?prune_eps dims =
+  let t = make_frame ?prune_eps dims in
   if t.total > Backend.dense_cap then
     invalid_arg "State.uniform: support is the whole register; use the dense backend";
   let a = Cx.re (1.0 /. sqrt (float_of_int t.total)) in
   for idx = 0 to t.total - 1 do
     Hashtbl.replace t.tbl idx a
   done;
-  t
+  noted t
 
 (* Gather the support into fibres over the selected wires: each entry's
    index splits into a base (selected wires zeroed) plus a sub-index;
@@ -151,30 +178,34 @@ let apply_wires t ~wires m =
   if Cmat.rows m <> sub_total || Cmat.cols m <> sub_total then
     invalid_arg "State.apply_wires: matrix dimension mismatch";
   let fibres = group_fibres t ~wires_arr ~sub_dims in
+  Metrics.add_gate_fibres (Hashtbl.length fibres);
   let offsets = sub_offsets ~wires_arr ~sub_dims ~str:t.str in
   let out = Hashtbl.create (Hashtbl.length t.tbl) in
   Hashtbl.iter
     (fun base fibre ->
       let transformed = Cmat.apply m fibre in
       for s = 0 to sub_total - 1 do
-        put out (base + offsets.(s)) transformed.(s)
+        put t.eps out (base + offsets.(s)) transformed.(s)
       done)
     fibres;
-  { t with tbl = out }
+  noted { t with tbl = out }
 
 let apply_dft t ~wire ~inverse =
   let d = t.dims.(wire) in
   let stride = t.str.(wire) in
   let fibres = group_fibres t ~wires_arr:[| wire |] ~sub_dims:[| d |] in
+  (* Only populated fibres are transformed — the count the dense
+     backend's total/d upper-bounds. *)
+  Metrics.add_dft_fibres (Hashtbl.length fibres);
   let out = Hashtbl.create (Hashtbl.length t.tbl) in
   Hashtbl.iter
     (fun base fibre ->
       Fft.dft_any ~inverse fibre;
       for k = 0 to d - 1 do
-        put out (base + (k * stride)) fibre.(k)
+        put t.eps out (base + (k * stride)) fibre.(k)
       done)
     fibres;
-  { t with tbl = out }
+  noted { t with tbl = out }
 
 let apply_basis_map t f =
   let out = Hashtbl.create (Hashtbl.length t.tbl) in
@@ -190,7 +221,7 @@ let apply_basis_map t f =
       if Hashtbl.mem out j then invalid_arg "State.apply_basis_map: not a bijection";
       Hashtbl.replace out j z)
     t.tbl;
-  { t with tbl = out }
+  noted { t with tbl = out }
 
 let apply_oracle_add t ~in_wires ~out_wire ~f =
   let d = t.dims.(out_wire) in
@@ -248,7 +279,7 @@ let measure rng t ~wires =
   Hashtbl.iter
     (fun idx z -> if digits_of t ~wires idx = target then Hashtbl.replace out idx z)
     t.tbl;
-  (outcome, normalize { t with tbl = out })
+  (outcome, noted (normalize { t with tbl = out }))
 
 let approx_equal ?(eps = 1e-9) a b =
   a.dims = b.dims

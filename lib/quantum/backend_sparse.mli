@@ -7,19 +7,57 @@
     workloads: coset states [|xH>] have support [|H|], and their group
     Fourier transforms are supported on the [|G|/|H|]-point annihilator.
 
-    Amplitudes with modulus at most the pruning epsilon (default
-    [1e-12], see {!set_prune_epsilon}) are dropped after each unitary,
-    so destructive interference actually shrinks the table.  Satisfies
-    {!Backend.S}; the equivalence test suite checks it against
-    {!Backend_dense} amplitude-by-amplitude on random circuits. *)
+    Amplitudes with modulus at most the pruning epsilon are dropped
+    after each unitary, so destructive interference actually shrinks the
+    table.  The epsilon is {e per state}: fixed at construction (from
+    the optional [?prune_eps] argument, else the session default set by
+    {!set_prune_epsilon}, initially [1e-12]) and carried through every
+    derived state, so changing the default mid-session never contaminates
+    states already built.
 
-include Backend.S
+    The operations implement {!Backend.S} (modulo the optional
+    [?prune_eps] on constructors); the equivalence test suite checks
+    them against {!Backend_dense} amplitude-by-amplitude on random
+    circuits.  Work statistics (populated fibre counts, peak support,
+    pruned amplitudes) are recorded in the {!Metrics} ledger. *)
+
+type t
+
+val create : ?prune_eps:float -> int array -> t
+val of_basis : ?prune_eps:float -> int array -> int array -> t
+val of_amplitudes : ?prune_eps:float -> int array -> Linalg.Cvec.t -> t
+val of_support : ?prune_eps:float -> int array -> (int array * Linalg.Cx.t) list -> t
+val uniform : ?prune_eps:float -> int array -> t
+val dims : t -> int array
+val num_wires : t -> int
+val total_dim : t -> int
+val support_size : t -> int
+val amplitudes : t -> Linalg.Cvec.t
+val amp_at : t -> int -> Linalg.Cx.t
+val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
+
+val tensor : t -> t -> t
+(** The product carries the left operand's pruning epsilon. *)
+
+val apply_wires : t -> wires:int list -> Linalg.Cmat.t -> t
+val apply_dft : t -> wire:int -> inverse:bool -> t
+val apply_basis_map : t -> (int array -> int array) -> t
+val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array -> int) -> t
+val probabilities : t -> wires:int list -> float array
+val measure : Random.State.t -> t -> wires:int list -> int array * t
+val norm : t -> float
 
 val set_prune_epsilon : float -> unit
-(** Amplitudes with [|z| <= epsilon] are dropped after each unitary.
+(** Set the session default epsilon used by constructors when
+    [?prune_eps] is omitted.  Affects only states constructed
+    afterwards.
     @raise Invalid_argument on a negative epsilon. *)
 
 val prune_eps : unit -> float
+(** The current session default. *)
+
+val prune_eps_of : t -> float
+(** The epsilon this particular state carries. *)
 
 val approx_equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

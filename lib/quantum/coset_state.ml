@@ -37,6 +37,7 @@ let sampler ?backend ~dims ~f ~queries () =
     done;
     let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
     let st =
+      Metrics.phase "sample-prep" @@ fun () ->
       match Backend.resolve ?backend ~total () with
       | Backend.Sparse ->
           State.of_sparse ~backend:Backend.Sparse dims
@@ -46,8 +47,17 @@ let sampler ?backend ~dims ~f ~queries () =
           List.iter (fun idx -> v.(idx) <- amp) !members;
           State.of_amplitudes ~backend:Backend.Dense dims v
     in
-    let st = Qft.forward st ~wires in
-    State.measure_all rng st
+    let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires) in
+    let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
+    if Metrics.tracing () then
+      Metrics.trace "coset-round"
+        [
+          ("coset_size", string_of_int !count);
+          ("fourier_support", string_of_int (State.support_size st));
+          ( "outcome",
+            String.concat "," (List.map string_of_int (Array.to_list outcome)) );
+        ];
+    outcome
 
 let sample rng ~dims ~f ~queries = sampler ~dims ~f ~queries () rng
 
@@ -63,12 +73,24 @@ let sampler_with_support ?backend ~dims ~coset ~queries () =
   fun rng ->
     Query.tick queries;
     let x0 = Array.map (fun d -> Random.State.int rng d) dims in
-    let members = coset x0 in
+    let members = Metrics.phase "sample-prep" (fun () -> coset x0) in
     if members = [] then invalid_arg "Coset_state: coset function returned an empty coset";
     let amp = Cx.re (1.0 /. sqrt (float_of_int (List.length members))) in
-    let st = State.of_sparse ?backend dims (List.map (fun x -> (x, amp)) members) in
-    let st = Qft.forward st ~wires in
-    State.measure_all rng st
+    let st =
+      Metrics.phase "sample-prep" (fun () ->
+          State.of_sparse ?backend dims (List.map (fun x -> (x, amp)) members))
+    in
+    let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires) in
+    let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
+    if Metrics.tracing () then
+      Metrics.trace "coset-round"
+        [
+          ("coset_size", string_of_int (List.length members));
+          ("fourier_support", string_of_int (State.support_size st));
+          ( "outcome",
+            String.concat "," (List.map string_of_int (Array.to_list outcome)) );
+        ];
+    outcome
 
 let sample_with_support rng ?backend ~dims ~coset ~queries () =
   sampler_with_support ?backend ~dims ~coset ~queries () rng
@@ -113,8 +135,10 @@ let sample_full rng ?backend ~dims ~f ~queries () =
   let st = State.tensor st (State.create ?backend [| out_dim |]) in
   let st = State.apply_oracle_add st ~in_wires:group_wires ~out_wire:n ~f:(fun x -> canon (f x)) in
   ignore all_dims;
-  let st = Qft.forward st ~wires:group_wires in
-  let outcome, _ = State.measure rng st ~wires:group_wires in
+  let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires:group_wires) in
+  let outcome, _ =
+    Metrics.phase "measure" (fun () -> State.measure rng st ~wires:group_wires)
+  in
   outcome
 
 let annihilator_subgroup ~dims ys =

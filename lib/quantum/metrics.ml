@@ -1,0 +1,149 @@
+(* Global cost ledger for the simulator.
+
+   Per-call counters (gates, DFTs, basis maps, oracle ops, measurements,
+   states created) are ticked by the {!State} dispatcher, so a dense and
+   a sparse run of the same circuit report identical values; the
+   work/allocation statistics (fibre counts, peak support, pruned
+   amplitudes, peak dense allocation) are recorded inside the backends
+   and are exactly where the two representations differ. *)
+
+type snapshot = {
+  gate_apps : int;
+  gate_fibres : int;
+  dft_apps : int;
+  dft_fibres : int;
+  basis_maps : int;
+  oracle_ops : int;
+  measurements : int;
+  states_created : int;
+  peak_support : int;
+  pruned_amps : int;
+  peak_dense_alloc : int;
+  phases : (string * float) list;
+}
+
+let gate_apps = ref 0
+let gate_fibres = ref 0
+let dft_apps = ref 0
+let dft_fibres = ref 0
+let basis_maps = ref 0
+let oracle_ops = ref 0
+let measurements = ref 0
+let states_created = ref 0
+let peak_support = ref 0
+let pruned_amps = ref 0
+let peak_dense_alloc = ref 0
+
+(* Accumulated wall-clock seconds per phase name, in first-seen order. *)
+let phase_order : string list ref = ref []
+let phase_seconds : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  gate_apps := 0;
+  gate_fibres := 0;
+  dft_apps := 0;
+  dft_fibres := 0;
+  basis_maps := 0;
+  oracle_ops := 0;
+  measurements := 0;
+  states_created := 0;
+  peak_support := 0;
+  pruned_amps := 0;
+  peak_dense_alloc := 0;
+  phase_order := [];
+  Hashtbl.reset phase_seconds
+
+let snapshot () =
+  {
+    gate_apps = !gate_apps;
+    gate_fibres = !gate_fibres;
+    dft_apps = !dft_apps;
+    dft_fibres = !dft_fibres;
+    basis_maps = !basis_maps;
+    oracle_ops = !oracle_ops;
+    measurements = !measurements;
+    states_created = !states_created;
+    peak_support = !peak_support;
+    pruned_amps = !pruned_amps;
+    peak_dense_alloc = !peak_dense_alloc;
+    phases =
+      List.rev_map
+        (fun name -> (name, Option.value ~default:0.0 (Hashtbl.find_opt phase_seconds name)))
+        !phase_order;
+  }
+
+let record_gate () = incr gate_apps
+let add_gate_fibres n = gate_fibres := !gate_fibres + n
+let record_dft () = incr dft_apps
+let add_dft_fibres n = dft_fibres := !dft_fibres + n
+let record_basis_map () = incr basis_maps
+let record_oracle () = incr oracle_ops
+let record_measurement () = incr measurements
+let record_state_created () = incr states_created
+let record_support s = if s > !peak_support then peak_support := s
+let record_pruned () = incr pruned_amps
+let record_dense_alloc total = if total > !peak_dense_alloc then peak_dense_alloc := total
+
+(* ------------------------------------------------------------------ *)
+(* Structured trace events                                             *)
+(* ------------------------------------------------------------------ *)
+
+type tracer = string -> (string * string) list -> unit
+
+let tracer : tracer option ref = ref None
+let set_tracer t = tracer := t
+let tracing () = !tracer <> None
+let trace event fields = match !tracer with None -> () | Some f -> f event fields
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase wall-clock timer                                          *)
+(* ------------------------------------------------------------------ *)
+
+let phase name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      (match Hashtbl.find_opt phase_seconds name with
+      | None ->
+          phase_order := name :: !phase_order;
+          Hashtbl.replace phase_seconds name dt
+      | Some acc -> Hashtbl.replace phase_seconds name (acc +. dt));
+      trace "phase" [ ("name", name); ("seconds", Printf.sprintf "%.6f" dt) ])
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_fields s =
+  [
+    ("gate_apps", string_of_int s.gate_apps);
+    ("gate_fibres", string_of_int s.gate_fibres);
+    ("dft_apps", string_of_int s.dft_apps);
+    ("dft_fibres", string_of_int s.dft_fibres);
+    ("basis_maps", string_of_int s.basis_maps);
+    ("oracle_ops", string_of_int s.oracle_ops);
+    ("measurements", string_of_int s.measurements);
+    ("states_created", string_of_int s.states_created);
+    ("peak_support", string_of_int s.peak_support);
+    ("pruned_amps", string_of_int s.pruned_amps);
+    ("peak_dense_alloc", string_of_int s.peak_dense_alloc);
+  ]
+  @ List.map (fun (name, sec) -> ("sec_" ^ name, Printf.sprintf "%.6f" sec)) s.phases
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>cost ledger@,";
+  Format.fprintf fmt "  gate applications : %d (%d fibres)@," s.gate_apps s.gate_fibres;
+  Format.fprintf fmt "  DFT applications  : %d (%d fibres)@," s.dft_apps s.dft_fibres;
+  Format.fprintf fmt "  basis-map ops     : %d@," s.basis_maps;
+  Format.fprintf fmt "  oracle ops        : %d@," s.oracle_ops;
+  Format.fprintf fmt "  measurements      : %d@," s.measurements;
+  Format.fprintf fmt "  states created    : %d@," s.states_created;
+  Format.fprintf fmt "  peak sparse support : %d@," s.peak_support;
+  Format.fprintf fmt "  pruned amplitudes : %d@," s.pruned_amps;
+  Format.fprintf fmt "  peak dense alloc  : %d@," s.peak_dense_alloc;
+  List.iter
+    (fun (name, sec) -> Format.fprintf fmt "  phase %-11s : %.6fs@," name sec)
+    s.phases;
+  Format.fprintf fmt "@]"

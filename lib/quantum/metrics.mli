@@ -1,0 +1,100 @@
+(** Cost-ledger observability for the simulator.
+
+    The paper's theorems are complexity claims, so the reproduction
+    lives or dies on trustworthy cost accounting: wall clock and oracle
+    queries alone cannot show {e where} an algorithm spends its gates
+    and support.  This module keeps one global mutable ledger:
+
+    - {e per-call counters} — gate ({!State.apply_wires}) and DFT
+      ({!State.apply_dft}) applications, basis-map and oracle ops,
+      measurements, states created.  Ticked by the {!State} dispatcher,
+      so dense and sparse runs of the same circuit report identical
+      values.
+    - {e work/allocation statistics} — fibres actually transformed per
+      gate/DFT, peak sparse support, amplitudes dropped by the sparse
+      pruning epsilon, and the largest dense amplitude array allocated.
+      Recorded inside the backends; these are exactly where the two
+      representations differ.
+    - {e per-phase timers} — accumulated wall-clock seconds labelled by
+      phase ("sample-prep", "fourier", "measure", "classical"), wrapped
+      around the samplers and the solvers' classical post-processing.
+
+    The ledger is global and reset per experiment ({!reset}; done by
+    [Runner.run] and the CLI).  Counter updates are unconditional — a
+    handful of integer increments per {e operation}, not per amplitude —
+    so the overhead is unobservable next to the state-vector work.
+
+    Optionally, a {!tracer} receives structured trace events (phase
+    completions, per-round sampler events); [hsp_cli --trace] installs a
+    [Logs]-based one. *)
+
+type snapshot = {
+  gate_apps : int;  (** [State.apply_wires] / [apply_wire] calls *)
+  gate_fibres : int;  (** fibres transformed by those calls *)
+  dft_apps : int;  (** [State.apply_dft] calls *)
+  dft_fibres : int;
+      (** length-[d] fibres Fourier-transformed: total_dim/d per call on
+          the dense backend, populated fibres only on the sparse one *)
+  basis_maps : int;  (** [State.apply_basis_map] calls *)
+  oracle_ops : int;  (** [State.apply_oracle_add] calls *)
+  measurements : int;  (** [State.measure] / [measure_all] calls *)
+  states_created : int;  (** constructor + tensor calls *)
+  peak_support : int;  (** largest sparse table seen *)
+  pruned_amps : int;  (** nonzero amplitudes dropped below epsilon *)
+  peak_dense_alloc : int;  (** largest dense amplitude array allocated *)
+  phases : (string * float) list;
+      (** accumulated wall-clock seconds per phase, first-seen order *)
+}
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+
+(** {2 Recording — called by [State] and the backends} *)
+
+val record_gate : unit -> unit
+val add_gate_fibres : int -> unit
+val record_dft : unit -> unit
+val add_dft_fibres : int -> unit
+val record_basis_map : unit -> unit
+val record_oracle : unit -> unit
+val record_measurement : unit -> unit
+val record_state_created : unit -> unit
+
+val record_support : int -> unit
+(** Raise the peak-support high-water mark (sparse backend, after every
+    operation). *)
+
+val record_pruned : unit -> unit
+val record_dense_alloc : int -> unit
+
+(** {2 Structured trace events} *)
+
+type tracer = string -> (string * string) list -> unit
+(** [tracer event fields]: an event name plus key/value fields. *)
+
+val set_tracer : tracer option -> unit
+(** Install (or remove) the trace sink.  With no tracer installed,
+    {!trace} is a no-op and hot paths pay one pointer compare. *)
+
+val tracing : unit -> bool
+
+val trace : string -> (string * string) list -> unit
+(** Emit an event to the installed tracer, if any. *)
+
+(** {2 Per-phase wall-clock timer} *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] runs [f], adds the elapsed wall-clock seconds to the
+    ledger under [name] (even when [f] raises) and emits a ["phase"]
+    trace event.  Phases at the same level simply accumulate; nesting is
+    allowed but a nested phase's time is {e also} inside its ancestor's,
+    so the provided instrumentation only uses leaf-level phases. *)
+
+(** {2 Rendering} *)
+
+val to_fields : snapshot -> (string * string) list
+(** Flat key/value view (counters plus [sec_<phase>] entries) for JSON
+    or table emission. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable ledger (the [--metrics] output). *)

@@ -29,8 +29,8 @@ let estimate ?backend rng ~precision_bits:t ~unitary ~eigenstate =
   done;
   (* inverse QFT on the counting register, then measure *)
   let st = State.of_amplitudes ?backend [| q |] amps in
-  let st = State.apply_dft st ~wire:0 ~inverse:true in
-  let outcome = State.measure_all rng st in
+  let st = Metrics.phase "fourier" (fun () -> State.apply_dft st ~wire:0 ~inverse:true) in
+  let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
   float_of_int outcome.(0) /. float_of_int q
 
 let estimate_exact ?backend rng ~precision_bits ~unitary ~eigenstate ~trials =

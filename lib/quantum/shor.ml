@@ -18,21 +18,24 @@ let register_size bound =
 (* One Fourier-sampling round over Z_Q; returns the measured c. *)
 let sample_round ?backend rng q tags queries =
   Query.tick queries;
-  let k0 = Random.State.int rng q in
-  let t0 = tags.(k0) in
-  let members = ref [] and count = ref 0 in
-  for k = q - 1 downto 0 do
-    if tags.(k) = t0 then begin
-      members := k :: !members;
-      incr count
-    end
-  done;
-  let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
-  let v = Cvec.make q in
-  List.iter (fun k -> v.(k) <- amp) !members;
-  let st = State.of_amplitudes ?backend [| q |] v in
-  let st = Qft.forward st ~wires:[ 0 ] in
-  let outcome = State.measure_all rng st in
+  let st =
+    Metrics.phase "sample-prep" @@ fun () ->
+    let k0 = Random.State.int rng q in
+    let t0 = tags.(k0) in
+    let members = ref [] and count = ref 0 in
+    for k = q - 1 downto 0 do
+      if tags.(k) = t0 then begin
+        members := k :: !members;
+        incr count
+      end
+    done;
+    let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
+    let v = Cvec.make q in
+    List.iter (fun k -> v.(k) <- amp) !members;
+    State.of_amplitudes ?backend [| q |] v
+  in
+  let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires:[ 0 ]) in
+  let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
   outcome.(0)
 
 let verified_period f r =

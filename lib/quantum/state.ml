@@ -11,16 +11,19 @@ let resolve ?backend dims =
   Backend.resolve ?backend ~total:(Backend.total_of dims) ()
 
 let create ?backend dims =
+  Metrics.record_state_created ();
   match resolve ?backend dims with
   | Backend.Sparse -> Sparse (Backend_sparse.create dims)
   | _ -> Dense (Backend_dense.create dims)
 
 let of_basis ?backend dims x =
+  Metrics.record_state_created ();
   match resolve ?backend dims with
   | Backend.Sparse -> Sparse (Backend_sparse.of_basis dims x)
   | _ -> Dense (Backend_dense.of_basis dims x)
 
 let of_amplitudes ?backend dims v =
+  Metrics.record_state_created ();
   match resolve ?backend dims with
   | Backend.Sparse -> Sparse (Backend_sparse.of_amplitudes dims v)
   | _ -> Dense (Backend_dense.of_amplitudes dims v)
@@ -28,13 +31,15 @@ let of_amplitudes ?backend dims v =
 (* A sparse construction defaults to the sparse backend (Auto included):
    the caller is telling us the support is small, and beyond the dense
    cap that is the only representation that exists at all. *)
-let of_sparse ?backend dims entries =
+let of_sparse ?backend ?prune_eps dims entries =
+  Metrics.record_state_created ();
   let choice = match backend with Some c -> c | None -> Backend.default () in
   match choice with
   | Backend.Dense -> Dense (Backend_dense.of_support dims entries)
-  | Backend.Sparse | Backend.Auto -> Sparse (Backend_sparse.of_support dims entries)
+  | Backend.Sparse | Backend.Auto -> Sparse (Backend_sparse.of_support ?prune_eps dims entries)
 
 let uniform ?backend dims =
+  Metrics.record_state_created ();
   match resolve ?backend dims with
   | Backend.Sparse -> Sparse (Backend_sparse.uniform dims)
   | _ -> Dense (Backend_dense.uniform dims)
@@ -76,6 +81,7 @@ let to_backend choice t =
   | _ -> t
 
 let tensor a b =
+  Metrics.record_state_created ();
   match (a, b) with
   | Dense x, Dense y -> Dense (Backend_dense.tensor x y)
   | Sparse x, Sparse y -> Sparse (Backend_sparse.tensor x y)
@@ -86,7 +92,13 @@ let tensor a b =
       | Sparse x, Sparse y -> Sparse (Backend_sparse.tensor x y)
       | _ -> assert false)
 
+(* Per-call ledger ticks live here, in the dispatcher, so a dense and a
+   sparse run of the same circuit report identical counts by
+   construction; the backends record only the work statistics (fibres,
+   support, pruning) on which the two representations differ. *)
+
 let apply_wires t ~wires m =
+  Metrics.record_gate ();
   match t with
   | Dense d -> Dense (Backend_dense.apply_wires d ~wires m)
   | Sparse s -> Sparse (Backend_sparse.apply_wires s ~wires m)
@@ -94,16 +106,19 @@ let apply_wires t ~wires m =
 let apply_wire t ~wire m = apply_wires t ~wires:[ wire ] m
 
 let apply_dft t ~wire ~inverse =
+  Metrics.record_dft ();
   match t with
   | Dense d -> Dense (Backend_dense.apply_dft d ~wire ~inverse)
   | Sparse s -> Sparse (Backend_sparse.apply_dft s ~wire ~inverse)
 
 let apply_basis_map t f =
+  Metrics.record_basis_map ();
   match t with
   | Dense d -> Dense (Backend_dense.apply_basis_map d f)
   | Sparse s -> Sparse (Backend_sparse.apply_basis_map s f)
 
 let apply_oracle_add t ~in_wires ~out_wire ~f =
+  Metrics.record_oracle ();
   match t with
   | Dense d -> Dense (Backend_dense.apply_oracle_add d ~in_wires ~out_wire ~f)
   | Sparse s -> Sparse (Backend_sparse.apply_oracle_add s ~in_wires ~out_wire ~f)
@@ -114,6 +129,7 @@ let probabilities t ~wires =
   | Sparse s -> Backend_sparse.probabilities s ~wires
 
 let measure rng t ~wires =
+  Metrics.record_measurement ();
   match t with
   | Dense d ->
       let outcome, post = Backend_dense.measure rng d ~wires in

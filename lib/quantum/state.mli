@@ -44,12 +44,20 @@ val of_amplitudes : ?backend:Backend.choice -> int array -> Linalg.Cvec.t -> t
     is inherently dense, so this only accepts registers whose total
     dimension is materialisable; prefer {!of_sparse} beyond the cap. *)
 
-val of_sparse : ?backend:Backend.choice -> int array -> (int array * Linalg.Cx.t) list -> t
+val of_sparse :
+  ?backend:Backend.choice ->
+  ?prune_eps:float ->
+  int array ->
+  (int array * Linalg.Cx.t) list ->
+  t
 (** [of_sparse dims entries] builds the normalised superposition with
     the given basis-tuple amplitudes (duplicates are summed).  Defaults
     to the sparse backend even under [Auto] — the explicit support list
     is the caller saying the state is sparse — and is the only
-    constructor usable beyond {!max_total_dim}.
+    constructor usable beyond {!max_total_dim}.  [prune_eps] fixes the
+    pruning threshold of this state and everything derived from it
+    (default: the current {!Backend_sparse.set_prune_epsilon} session
+    value); ignored when the state lands on the dense backend.
     @raise Invalid_argument on an empty or zero-norm support. *)
 
 val dims : t -> int array

@@ -1,0 +1,272 @@
+(* Cost-ledger observability and correctness-fix regressions.
+
+   Covers the metrics ledger ({!Quantum.Metrics}), the discrete-sampler
+   fallback fix, the per-state sparse pruning epsilon, query-counter
+   reset semantics across {!Hsp.Runner.run} invocations, and the
+   [verify:false] report marker. *)
+
+open Hsp
+open Quantum
+open Linalg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Every test starts from a clean global ledger and the default global
+   pruning epsilon, whatever the previous test left behind. *)
+let setup () =
+  Metrics.reset ();
+  Backend_sparse.set_prune_epsilon 1e-12;
+  Backend.set_default Backend.Auto
+
+let rng () = Random.State.make [| 42 |]
+
+(* ------------------------------------------------------------------ *)
+(* sample_discrete: under-normalised and partial distributions        *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: with sum probs < r the old fallback returned the *last*
+   index even when its probability was zero.  [|0.3; 0.0|] triggers it
+   on every draw with r >= 0.3: index 1 must never come back. *)
+let test_sample_never_zero_prob () =
+  setup ();
+  let rng = rng () in
+  for _ = 1 to 500 do
+    checki "under-normalised picks the nonzero index" 0
+      (Backend.sample_discrete rng [| 0.3; 0.0 |])
+  done;
+  (* zero-probability head: index 0 must never be chosen *)
+  for _ = 1 to 500 do
+    checki "leading zero skipped" 1 (Backend.sample_discrete rng [| 0.0; 0.5 |])
+  done;
+  (* interior zero, under-normalised tail *)
+  for _ = 1 to 500 do
+    let i = Backend.sample_discrete rng [| 0.2; 0.0; 0.3 |] in
+    checkb "interior zero never sampled" true (i = 0 || i = 2)
+  done
+
+let test_sample_degenerate () =
+  setup ();
+  let rng = rng () in
+  Alcotest.check_raises "empty distribution"
+    (Invalid_argument "Backend.sample_discrete: empty distribution") (fun () ->
+      ignore (Backend.sample_discrete rng [||]));
+  Alcotest.check_raises "all-zero distribution"
+    (Invalid_argument "Backend.sample_discrete: zero distribution") (fun () ->
+      ignore (Backend.sample_discrete rng [| 0.0; 0.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Per-state pruning epsilon                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The epsilon is fixed at construction and carried by the state:
+   changing the global default afterwards must not contaminate states
+   already built, and two coexisting states keep their own thresholds. *)
+let test_prune_eps_scoped_per_state () =
+  setup ();
+  let dims = [| 4 |] in
+  let entries = [ ([| 0 |], Cx.re 1.0); ([| 1 |], Cx.re 1e-6) ] in
+  let strict = Backend_sparse.of_support ~prune_eps:1e-3 dims entries in
+  let loose = Backend_sparse.of_support ~prune_eps:1e-9 dims entries in
+  checki "strict state pruned the tiny amplitude" 1 (Backend_sparse.support_size strict);
+  checki "loose state kept it" 2 (Backend_sparse.support_size loose);
+  checkb "per-state epsilons retained" true
+    (Backend_sparse.prune_eps_of strict = 1e-3 && Backend_sparse.prune_eps_of loose = 1e-9)
+
+let test_prune_eps_global_change_isolated () =
+  setup ();
+  let dims = [| 4 |] in
+  let st =
+    Backend_sparse.of_support ~prune_eps:1e-9 dims
+      [ ([| 0 |], Cx.re 1.0); ([| 1 |], Cx.re 1e-6) ]
+  in
+  (* cranking the session default must not retroactively prune [st] *)
+  Backend_sparse.set_prune_epsilon 1e-2;
+  let st = Backend_sparse.apply_dft st ~wire:0 ~inverse:false in
+  let st = Backend_sparse.apply_dft st ~wire:0 ~inverse:true in
+  checkb "derived states inherit the construction-time epsilon" true
+    (Backend_sparse.prune_eps_of st = 1e-9);
+  checki "round-trip keeps the small amplitude" 2 (Backend_sparse.support_size st);
+  (* a state built *after* the global change picks up the new default *)
+  let fresh = Backend_sparse.of_support dims [ ([| 0 |], Cx.re 1.0); ([| 1 |], Cx.re 1e-6) ] in
+  checki "new default applies to new states" 1 (Backend_sparse.support_size fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger: dense and sparse runs of one circuit agree on counts       *)
+(* ------------------------------------------------------------------ *)
+
+let run_circuit backend =
+  let r = rng () in
+  let dims = [| 4; 3; 2 |] in
+  let st = State.uniform ~backend dims in
+  let st = State.apply_dft st ~wire:0 ~inverse:false in
+  let st = State.apply_wire st ~wire:1 (Cmat.dft 3) in
+  let st = State.apply_basis_map st (fun x -> [| x.(0); x.(1); (x.(2) + 1) mod 2 |]) in
+  let st = State.apply_oracle_add st ~in_wires:[ 0 ] ~out_wire:2 ~f:(fun x -> x.(0) mod 2) in
+  ignore (State.measure_all r st)
+
+let counts (m : Metrics.snapshot) =
+  ( m.Metrics.gate_apps, m.Metrics.dft_apps, m.Metrics.basis_maps, m.Metrics.oracle_ops,
+    m.Metrics.measurements, m.Metrics.states_created )
+
+let test_counts_identical_across_backends () =
+  setup ();
+  run_circuit Backend.Dense;
+  let dense = Metrics.snapshot () in
+  Metrics.reset ();
+  run_circuit Backend.Sparse;
+  let sparse = Metrics.snapshot () in
+  checkb "per-call counters agree" true (counts dense = counts sparse);
+  checki "one gate" 1 dense.Metrics.gate_apps;
+  checki "one dft" 1 dense.Metrics.dft_apps;
+  checki "one basis map" 1 dense.Metrics.basis_maps;
+  checki "one oracle op" 1 dense.Metrics.oracle_ops;
+  checki "one measurement" 1 dense.Metrics.measurements;
+  (* where the two representations *should* differ: allocation stats *)
+  checkb "dense run records dense allocation, no sparse support" true
+    (dense.Metrics.peak_dense_alloc >= 24 && dense.Metrics.peak_support = 0);
+  checkb "sparse run records support, no dense allocation" true
+    (sparse.Metrics.peak_support >= 24 && sparse.Metrics.peak_dense_alloc = 0)
+
+let test_fibre_accounting () =
+  setup ();
+  (* dense DFT transforms every fibre; sparse only the populated ones:
+     a basis state has exactly one populated fibre. *)
+  let st = State.of_basis ~backend:Backend.Dense [| 8; 4 |] [| 0; 0 |] in
+  ignore (State.apply_dft st ~wire:0 ~inverse:false);
+  let dense = Metrics.snapshot () in
+  checki "dense transforms total/d fibres" 4 dense.Metrics.dft_fibres;
+  Metrics.reset ();
+  let st = State.of_basis ~backend:Backend.Sparse [| 8; 4 |] [| 0; 0 |] in
+  ignore (State.apply_dft st ~wire:0 ~inverse:false);
+  let sparse = Metrics.snapshot () in
+  checki "sparse transforms populated fibres only" 1 sparse.Metrics.dft_fibres
+
+let test_phase_timer_accumulates () =
+  setup ();
+  let x = Metrics.phase "classical" (fun () -> 41 + 1) in
+  checki "phase returns the body's value" 42 x;
+  ignore (Metrics.phase "classical" (fun () -> ()));
+  let m = Metrics.snapshot () in
+  checkb "phase seconds recorded once per name" true
+    (match m.Metrics.phases with [ ("classical", s) ] -> s >= 0.0 | _ -> false);
+  (* timer charges the phase even when the body raises *)
+  (try Metrics.phase "classical" (fun () -> failwith "boom") with Failure _ -> ());
+  let m = Metrics.snapshot () in
+  checkb "raising body still charged" true (List.mem_assoc "classical" m.Metrics.phases)
+
+let test_tracer_receives_events () =
+  setup ();
+  let events = ref [] in
+  Metrics.set_tracer (Some (fun name fields -> events := (name, fields) :: !events));
+  checkb "tracing on" true (Metrics.tracing ());
+  ignore (Metrics.phase "fourier" (fun () -> ()));
+  Metrics.set_tracer None;
+  checkb "tracing off" false (Metrics.tracing ());
+  checkb "phase event emitted with name field" true
+    (match !events with
+    | [ ("phase", fields) ] -> List.assoc_opt "name" fields = Some "fourier"
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Query/Hiding counter semantics across Runner.run invocations       *)
+(* ------------------------------------------------------------------ *)
+
+let test_query_tick_reset () =
+  let q = Query.create () in
+  checki "fresh counter" 0 (Query.count q);
+  Query.tick q;
+  Query.tick q;
+  checki "ticks accumulate" 2 (Query.count q);
+  Query.reset q;
+  checki "reset zeroes" 0 (Query.count q);
+  Query.tick q;
+  checki "usable after reset" 1 (Query.count q)
+
+let solve_simon inst =
+  Abelian_hsp.solve (rng ()) inst.Instances.group inst.Instances.hiding
+
+let test_runner_resets_counters_between_runs () =
+  setup ();
+  let inst = Instances.simon ~n:3 ~mask:[| 1; 0; 1 |] in
+  let r1 = Runner.run ~algorithm:"abelian" inst ~solver:solve_simon in
+  let r2 = Runner.run ~algorithm:"abelian" inst ~solver:solve_simon in
+  checkb "both runs ok" true (r1.Runner.ok && r2.Runner.ok);
+  checkb "queries counted from zero each run (no carry-over)" true
+    (r2.Runner.quantum_queries <= r1.Runner.quantum_queries * 2
+    && r2.Runner.quantum_queries > 0);
+  (* the second report's ledger is also a fresh one, not cumulative *)
+  checkb "metrics reset between runs" true
+    (r2.Runner.metrics.Metrics.measurements <= r1.Runner.metrics.Metrics.measurements * 2);
+  let c, q = Hiding.total_queries inst.Instances.hiding in
+  checkb "hiding counters reflect only the last run" true
+    (q = r2.Runner.quantum_queries && c = r2.Runner.classical_queries)
+
+let test_hiding_reset_zeroes () =
+  let inst = Instances.simon ~n:3 ~mask:[| 1; 1; 0 |] in
+  ignore (Hiding.eval inst.Instances.hiding [| 1; 0; 0 |]);
+  let c, _ = Hiding.total_queries inst.Instances.hiding in
+  checkb "classical query counted" true (c > 0);
+  Hiding.reset inst.Instances.hiding;
+  let c, q = Hiding.total_queries inst.Instances.hiding in
+  checkb "reset zeroes both counters" true (c = 0 && q = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Runner verification marker                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_verify_flag () =
+  setup ();
+  let inst = Instances.simon ~n:3 ~mask:[| 0; 1; 1 |] in
+  let verified = Runner.run ~algorithm:"abelian" inst ~solver:solve_simon in
+  checkb "default verifies" true verified.Runner.verified;
+  checki "group order computed" 8 verified.Runner.group_order;
+  let skipped = Runner.run ~verify:false ~algorithm:"abelian" inst ~solver:solve_simon in
+  checkb "verify:false marks the report" false skipped.Runner.verified;
+  checkb "ok vacuously true, orders absent" true
+    (skipped.Runner.ok && skipped.Runner.group_order = -1
+   && skipped.Runner.subgroup_order = -1);
+  checkb "queries still accounted" true (skipped.Runner.quantum_queries > 0);
+  (* the printers must render an unverified row as n/a, not ok *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let line = Format.asprintf "%a" Runner.pp_report skipped in
+  checkb "pp_report shows n/a" true (contains line "n/a")
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "sample_discrete",
+        [
+          Alcotest.test_case "never returns zero-probability index" `Quick
+            test_sample_never_zero_prob;
+          Alcotest.test_case "degenerate distributions raise" `Quick test_sample_degenerate;
+        ] );
+      ( "prune_epsilon",
+        [
+          Alcotest.test_case "scoped per state" `Quick test_prune_eps_scoped_per_state;
+          Alcotest.test_case "global change isolated" `Quick
+            test_prune_eps_global_change_isolated;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "counts identical across backends" `Quick
+            test_counts_identical_across_backends;
+          Alcotest.test_case "fibre accounting differs by design" `Quick
+            test_fibre_accounting;
+          Alcotest.test_case "phase timer" `Quick test_phase_timer_accumulates;
+          Alcotest.test_case "tracer events" `Quick test_tracer_receives_events;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "query tick/reset" `Quick test_query_tick_reset;
+          Alcotest.test_case "runner resets between runs" `Quick
+            test_runner_resets_counters_between_runs;
+          Alcotest.test_case "hiding reset zeroes" `Quick test_hiding_reset_zeroes;
+        ] );
+      ( "runner",
+        [ Alcotest.test_case "verify flag and n/a marker" `Quick test_runner_verify_flag ] );
+    ]
