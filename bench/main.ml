@@ -96,6 +96,24 @@ let fmt_i = Printf.sprintf "%8d"
 let fmt_s = Printf.sprintf "%8s"
 let fmt_f = Printf.sprintf "%8.3f"
 
+(* Cost-claim gate (Analysis.Cost_check): every smoke and E10 row is
+   checked against its theorem's query/gate budget; the run exits
+   nonzero if any row exceeds it, so CI catches cost regressions the
+   same way it catches wrong answers. *)
+let claim_violations = ref 0
+
+let claim_cell label ~params ~queries metrics =
+  match Analysis.Cost_check.find label with
+  | None -> "-"
+  | Some claim ->
+      let v = Analysis.Cost_check.check_snapshot claim params ~queries metrics in
+      if not v.Analysis.Cost_check.ok then begin
+        incr claim_violations;
+        Printf.printf "claim violation: %s\n"
+          (Format.asprintf "%a" Analysis.Cost_check.pp v)
+      end;
+      Analysis.Cost_check.cell v
+
 (* Wall clock, not [Sys.time]: CPU seconds undercount blocked time and
    the JSON output is meant to be comparable to what a user observes. *)
 let time_it f =
@@ -597,7 +615,8 @@ let e10 () =
   header
     "E10: dense vs sparse backend — planted Abelian HSP on Z_d1 x Z_d2, H = prod m_i Z_di"
     [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "q-quant"; fmt_s "gates";
-      fmt_s "dft-fib"; fmt_s "peak-sup"; fmt_s "peak-dns"; fmt_s "ok"; fmt_s "sec" ];
+      fmt_s "dft-fib"; fmt_s "peak-sup"; fmt_s "peak-dns"; fmt_s "ok"; fmt_s "claim";
+      fmt_s "sec" ];
   let solve_planted ~dims ~moduli ~backend =
     let r = Array.length dims in
     let coset x0 =
@@ -634,16 +653,17 @@ let e10 () =
           if backend = Quantum.Backend.Dense && total dims > Quantum.State.max_total_dim then
             row
               [ fmt_s (show dims); fmt_i (total dims); fmt_s "dense"; fmt_s "-"; fmt_s "-";
-                fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "(>cap)" ]
+                fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "(>cap)" ]
           else begin
             let ok, q, sec, m = solve_planted ~dims ~moduli ~backend in
+            let params = Analysis.Cost_check.params ~group_order:(total dims) () in
             row
               [ fmt_s (show dims); fmt_i (total dims);
                 fmt_s (Quantum.Backend.choice_to_string backend); fmt_i q;
                 fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
                 fmt_i m.Quantum.Metrics.dft_fibres; fmt_i m.Quantum.Metrics.peak_support;
                 fmt_i m.Quantum.Metrics.peak_dense_alloc; fmt_s (string_of_bool ok);
-                fmt_f sec ]
+                fmt_s (claim_cell "3" ~params ~queries:q m); fmt_f sec ]
           end)
         [ Quantum.Backend.Dense; Quantum.Backend.Sparse ])
     [
@@ -660,31 +680,41 @@ let e10 () =
 
 let smoke () =
   header "Smoke: one small instance per theorem (CI gate)"
-    [ fmt_s "instance"; fmt_s "algo"; fmt_s "thm"; fmt_s "ok"; fmt_s "q-quant";
-      fmt_s "gates"; fmt_s "sec" ];
-  let emit thm (r : Runner.report) =
+    [ fmt_s "instance"; fmt_s "algo"; fmt_s "thm"; fmt_s "ok"; fmt_s "queries";
+      fmt_s "gates"; fmt_s "claim"; fmt_s "sec" ];
+  (* The claim gate counts every oracle evaluation — classical plus
+     quantum — since the theorems bound total query complexity and our
+     Theorem-8/11 routes schedule some of the paper's quantum queries
+     as classical evaluations on the quotient. *)
+  let emit thm params (r : Runner.report) =
+    let queries = r.Runner.classical_queries + r.Runner.quantum_queries in
     row
       [ fmt_s r.Runner.instance; fmt_s r.Runner.algorithm; fmt_s thm;
-        fmt_s (string_of_bool r.Runner.ok); fmt_i r.Runner.quantum_queries;
+        fmt_s (string_of_bool r.Runner.ok); fmt_i queries;
         fmt_i
           (r.Runner.metrics.Quantum.Metrics.gate_apps
           + r.Runner.metrics.Quantum.Metrics.dft_apps);
-        fmt_f r.Runner.seconds ]
+        fmt_s (claim_cell thm ~params ~queries r.Runner.metrics); fmt_f r.Runner.seconds ]
   in
+  let p = Analysis.Cost_check.params in
   emit "3"
+    (p ~group_order:16 ())
     (Runner.run ~algorithm:"abelian"
        (Instances.simon ~n:4 ~mask:[| 1; 0; 1; 1 |])
        ~solver:(fun i -> Abelian_hsp.solve rng i.Instances.group i.Instances.hiding));
   emit "8"
+    (p ~group_order:24 ~quotient_order:4 ())
     (Runner.run ~algorithm:"normal"
        (Instances.dihedral_rotation ~n:12 ~d:2)
        ~solver:(fun i ->
          (Normal_hsp.solve rng i.Instances.group i.Instances.hiding).Normal_hsp.generators));
   emit "11"
+    (p ~group_order:27 ~commutator_order:3 ())
     (Runner.run ~algorithm:"commutator"
        (Instances.heisenberg_random rng ~p:3 ~m:1)
        ~solver:(fun i -> Small_commutator.solve_gens rng i.Instances.group i.Instances.hiding));
   emit "13g"
+    (p ~group_order:32 ~quotient_order:2 ())
     (Runner.run ~algorithm:"thm13-general"
        (Instances.wreath_random rng ~k:2)
        ~solver:(fun i ->
@@ -692,6 +722,7 @@ let smoke () =
             i.Instances.hiding)
            .Elem_abelian2.generators));
   emit "13c"
+    (p ~group_order:32 ~quotient_order:2 ~nu:1 ())
     (Runner.run ~algorithm:"thm13-cyclic"
        (Instances.semidirect_random rng ~n:4 ~m:2)
        ~solver:(fun i ->
@@ -700,10 +731,6 @@ let smoke () =
            .Elem_abelian2.generators));
   (* Theorems 4 and 6 have no Instances wrapper; their checks are
      closed-form. *)
-  let gates () =
-    let m = Quantum.Metrics.snapshot () in
-    m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps
-  in
   Quantum.Metrics.reset ();
   let queries = Quantum.Query.create () in
   let o, sec =
@@ -712,9 +739,12 @@ let smoke () =
           ~pow:(fun k -> Numtheory.Arith.powmod 2 k 15)
           ~order_bound:15 ~queries)
   in
+  let q = Quantum.Query.count queries in
+  let m = Quantum.Metrics.snapshot () in
   row
     [ fmt_s "ord(2 mod 15)"; fmt_s "shor"; fmt_s "4"; fmt_s (string_of_bool (o = Some 4));
-      fmt_i (Quantum.Query.count queries); fmt_i (gates ()); fmt_f sec ];
+      fmt_i q; fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
+      fmt_s (claim_cell "4" ~params:(p ~group_order:15 ()) ~queries:q m); fmt_f sec ];
   Quantum.Metrics.reset ();
   let z = Cyclic.product [| 12; 18 |] in
   let queries = Quantum.Query.create () in
@@ -723,9 +753,12 @@ let smoke () =
         Membership.express rng z ~hs:[ [| 2; 3 |]; [| 0; 6 |] ] [| 4; 0 |] ~order_bound:36
           ~queries)
   in
+  let q = Quantum.Query.count queries in
+  let m = Quantum.Metrics.snapshot () in
   row
     [ fmt_s "Z12xZ18"; fmt_s "membership"; fmt_s "6"; fmt_s (string_of_bool (res <> None));
-      fmt_i (Quantum.Query.count queries); fmt_i (gates ()); fmt_f sec ]
+      fmt_i q; fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
+      fmt_s (claim_cell "6" ~params:(p ~group_order:36 ()) ~queries:q m); fmt_f sec ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment            *)
@@ -811,4 +844,9 @@ let () =
           | None when name = "smoke" -> smoke ()
           | None -> Printf.printf "unknown experiment %s\n" name)
         selected);
-  if !tables <> [] then write_json ()
+  if !tables <> [] then write_json ();
+  if !claim_violations > 0 then begin
+    Printf.printf "FAILED: %d cost-claim violation(s) — see Analysis.Cost_check\n"
+      !claim_violations;
+    exit 1
+  end

@@ -406,6 +406,54 @@ let dlog_cmd =
     (Cmd.info "dlog" ~doc:"Discrete logarithm in Z_p^* via Abelian Fourier sampling.")
     Term.(const run $ common_arg $ seed_arg $ p_arg $ g_arg $ h_arg)
 
+let check_circuit_cmd =
+  let n_arg =
+    Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of qubits of the QFT circuit to check.")
+  in
+  let approx_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "approx" ] ~docv:"T"
+          ~doc:
+            "Check the approximate QFT instead: controlled rotations $(b,rk k) with \
+             k > $(docv) are dropped (Coppersmith's construction).")
+  in
+  let run common n approx =
+    setup common;
+    finish common @@ fun () ->
+    (match approx with
+    | None -> Printf.printf "Static check: exact QFT on %d qubits\n" n
+    | Some t -> Printf.printf "Static check: approximate QFT on %d qubits (threshold %d)\n" n t);
+    if n < 1 then begin
+      Printf.eprintf "hsp: --n must be >= 1\n";
+      2
+    end
+    else
+      match Analysis.Circuit_check.check_qft ?approx_threshold:approx n with
+      | Ok r ->
+          Format.printf "%a@." Analysis.Circuit_check.pp_report r;
+          let budget =
+            match approx with
+            | None -> Analysis.Circuit_check.qft_exact_gate_count n
+            | Some t -> Analysis.Circuit_check.qft_approx_gate_count ~threshold:t n
+          in
+          Printf.printf "closed-form gate budget: %d\n" budget;
+          Printf.printf "verdict        : well-formed\n";
+          0
+      | Error vs ->
+          List.iter (fun v -> Format.printf "%a@." Analysis.Circuit_check.pp_violation v) vs;
+          Printf.printf "verdict        : %d violation(s)\n" (List.length vs);
+          1
+  in
+  Cmd.v
+    (Cmd.info "check-circuit"
+       ~doc:
+         "Statically validate the QFT circuit builder: wire ranges, per-gate unitarity, \
+          and gate/rotation counts against the closed-form Coppersmith budgets \
+          (Analysis.Circuit_check).  No simulation is performed.")
+    Term.(const run $ common_arg $ n_arg $ approx_arg)
+
 let order_cmd =
   let modulus_arg = Arg.(value & opt int 77 & info [ "modulus" ] ~doc:"Modulus N.") in
   let base_arg = Arg.(value & opt int 2 & info [ "base" ] ~doc:"Element of Z_N^*.") in
@@ -444,5 +492,5 @@ let () =
        (Cmd.group info
           [
             simon_cmd; abelian_cmd; dihedral_cmd; heisenberg_cmd; wreath_cmd; semidirect_cmd;
-            dicyclic_cmd; frobenius_cmd; factor_cmd; dlog_cmd; order_cmd;
+            dicyclic_cmd; frobenius_cmd; factor_cmd; dlog_cmd; order_cmd; check_circuit_cmd;
           ]))

@@ -1,0 +1,35 @@
+(* Source-level lint driver (see Analysis.Lint for the rules).
+
+     hsp_lint [DIR | FILE.ml] ...     defaults to: lib
+
+   Walks the given roots for .ml files, applies the per-path rule
+   configuration (poly-compare/poly-eq under lib/group and lib/core,
+   print-stdout everywhere outside bin/ bench/ test/ examples/), prints
+   every finding and exits 1 if there are any.  Run by `dune runtest`
+   via the root dune rule and by the CI lint job. *)
+
+let rec files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.concat_map (fun entry -> files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let roots = match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | r -> r in
+  let ml_files = List.concat_map files roots |> List.sort String.compare in
+  let errors = ref 0 in
+  let findings =
+    List.concat_map
+      (fun f ->
+        try Analysis.Lint.lint_file f
+        with Failure msg ->
+          incr errors;
+          Printf.eprintf "hsp_lint: %s\n" msg;
+          [])
+      ml_files
+  in
+  List.iter (fun f -> Format.printf "%a@." Analysis.Lint.pp_finding f) findings;
+  Format.printf "hsp_lint: %d file(s) checked, %d finding(s)@." (List.length ml_files)
+    (List.length findings);
+  exit (match (findings, !errors) with [], 0 -> 0 | _ -> 1)

@@ -1,0 +1,144 @@
+type params = {
+  group_order : int;
+  quotient_order : int;
+  commutator_order : int;
+  nu : int;
+}
+
+let params ?(quotient_order = 1) ?(commutator_order = 1) ?(nu = 1) ~group_order () =
+  { group_order; quotient_order; commutator_order; nu }
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  max 1 (go 0 1)
+
+type claim = {
+  label : string;
+  paper_theorem : string;
+  description : string;
+  queries : params -> int;
+  gates : params -> int;
+}
+
+(* Budget polynomials.  Shapes follow the theorem statements; the
+   leading constants carry ~4x slack over the seed measurements (see
+   DESIGN.md "Static verification" for the calibration table).  All are
+   monotone in the parameters, so growing instances get growing
+   budgets and a poly(log |G|) claim still trips when an implementation
+   regresses to Theta(|G|) behaviour. *)
+
+let claims =
+  [
+    {
+      label = "3";
+      paper_theorem = "3 (Abelian HSP)";
+      description = "queries O(log |G|), gates O(log^2 |G|) per Fourier sampling";
+      queries = (fun p -> 8 * (log2_ceil p.group_order + 4));
+      gates = (fun p -> 40 * (log2_ceil p.group_order + 4) * (log2_ceil p.group_order + 4));
+    };
+    {
+      label = "4";
+      paper_theorem = "4/10 (order finding)";
+      description = "Shor period finding: O(log B) rounds over Z_Q, Q <= 2B^2";
+      queries = (fun p -> 8 * (log2_ceil p.group_order + 4));
+      gates = (fun p -> 16 * (log2_ceil p.group_order + 4));
+    };
+    {
+      label = "6";
+      paper_theorem = "6 (constructive membership)";
+      description = "per generator O(log E) order-finding queries, E the exponent bound";
+      queries = (fun p -> 16 * (log2_ceil p.group_order + 4));
+      gates = (fun p -> 32 * (log2_ceil p.group_order + 4));
+    };
+    {
+      label = "8";
+      paper_theorem = "8 (hidden normal subgroup)";
+      description = "Fourier sampling in G/N: poly(log |G|) * |G/N| oracle evaluations";
+      queries =
+        (fun p -> 8 * p.quotient_order * (log2_ceil p.group_order + 4));
+      gates =
+        (fun p ->
+          40 * p.quotient_order * (log2_ceil p.group_order + 4)
+          * (log2_ceil p.group_order + 4));
+    };
+    {
+      label = "11";
+      paper_theorem = "11 (small commutator subgroup)";
+      description = "poly(log |G| + |G'|) via Abelian sampling over G/G'";
+      queries =
+        (fun p -> 24 * (log2_ceil p.group_order + p.commutator_order + 4));
+      gates =
+        (fun p ->
+          40
+          * (log2_ceil p.group_order + p.commutator_order + 4)
+          * (log2_ceil p.group_order + p.commutator_order + 4));
+    };
+    {
+      label = "13g";
+      paper_theorem = "13 (general case)";
+      description = "one Abelian HSP on Z_2 x N per transversal element of G/N";
+      queries =
+        (fun p -> 8 * (p.quotient_order + 1) * (log2_ceil p.group_order + 4));
+      gates =
+        (fun p ->
+          40 * (p.quotient_order + 1) * (log2_ceil p.group_order + 4)
+          * (log2_ceil p.group_order + 4));
+    };
+    {
+      label = "13c";
+      paper_theorem = "13 (cyclic factor group)";
+      description = "transversal of size O(nu(G/N) log |G/N|): poly(log |G|) total";
+      queries =
+        (fun p ->
+          8 * (p.nu + 1) * (log2_ceil p.quotient_order + 1)
+          * (log2_ceil p.group_order + 4));
+      gates =
+        (fun p ->
+          40 * (p.nu + 1) * (log2_ceil p.quotient_order + 1)
+          * (log2_ceil p.group_order + 4) * (log2_ceil p.group_order + 4));
+    };
+  ]
+
+let find label = List.find_opt (fun c -> String.equal c.label label) claims
+
+type verdict = {
+  label : string;
+  queries_used : int;
+  queries_budget : int;
+  gates_used : int;
+  gates_budget : int;
+  ok : bool;
+}
+
+let check claim p ~queries ~gates =
+  let queries_budget = claim.queries p in
+  let gates_budget = claim.gates p in
+  {
+    label = claim.label;
+    queries_used = queries;
+    queries_budget;
+    gates_used = gates;
+    gates_budget;
+    ok = queries <= queries_budget && gates <= gates_budget;
+  }
+
+let check_snapshot claim p ~queries (m : Quantum.Metrics.snapshot) =
+  check claim p ~queries
+    ~gates:(m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps)
+
+let cell v =
+  if v.ok then "ok"
+  else begin
+    let over = Buffer.create 16 in
+    Buffer.add_string over "OVER";
+    if v.queries_used > v.queries_budget then
+      Buffer.add_string over (Printf.sprintf " q:%d>%d" v.queries_used v.queries_budget);
+    if v.gates_used > v.gates_budget then
+      Buffer.add_string over (Printf.sprintf " g:%d>%d" v.gates_used v.gates_budget);
+    Buffer.contents over
+  end
+
+let pp fmt v =
+  Format.fprintf fmt "thm %s: queries %d/%d, gates %d/%d — %s" v.label v.queries_used
+    v.queries_budget v.gates_used v.gates_budget
+    (if v.ok then "within budget" else "BUDGET EXCEEDED")

@@ -1,0 +1,209 @@
+type rule = Poly_compare | Poly_eq | Float_eq | Obj_magic | Print_stdout
+
+let rule_name = function
+  | Poly_compare -> "poly-compare"
+  | Poly_eq -> "poly-eq"
+  | Float_eq -> "float-eq"
+  | Obj_magic -> "obj-magic"
+  | Print_stdout -> "print-stdout"
+
+let rule_of_name = function
+  | "poly-compare" -> Some Poly_compare
+  | "poly-eq" -> Some Poly_eq
+  | "float-eq" -> Some Float_eq
+  | "obj-magic" -> Some Obj_magic
+  | "print-stdout" -> Some Print_stdout
+  | _ -> None
+
+type finding = { file : string; line : int; rule : rule; detail : string }
+
+type config = { check_poly : bool; allow_print : bool }
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let config_for_path path =
+  {
+    check_poly = contains ~sub:"lib/group" path || contains ~sub:"lib/core" path;
+    allow_print =
+      List.exists
+        (fun d -> contains ~sub:d path)
+        [ "bin/"; "bench/"; "test/"; "examples/" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist comments                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Maps line number -> rule names allowed on that line (the token "all"
+   allows everything).  Comments are not in the Parsetree, so this is a
+   plain text scan of the source. *)
+let allow_table src =
+  let tbl = Hashtbl.create 8 in
+  let marker = "hsp-lint: allow" in
+  List.iteri
+    (fun i line ->
+      match
+        let n = String.length line and m = String.length marker in
+        let rec find j =
+          if j + m > n then None
+          else if String.sub line j m = marker then Some (j + m)
+          else find (j + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some start ->
+          let tail = String.sub line start (String.length line - start) in
+          let words =
+            String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) tail)
+          in
+          let rules =
+            List.filter
+              (fun w -> w <> "" && w <> "*)" && not (contains ~sub:"*" w))
+              words
+          in
+          Hashtbl.replace tbl (i + 1) rules)
+    (String.split_on_char '\n' src);
+  tbl
+
+let allowed tbl line rule =
+  let matches l =
+    match Hashtbl.find_opt tbl l with
+    | None -> false
+    | Some rules -> List.mem "all" rules || List.mem (rule_name rule) rules
+  in
+  matches line || matches (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* The Parsetree pass                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let eq_operators = [ "="; "<>"; "=="; "!=" ]
+
+let print_detail txt =
+  match (txt : Longident.t) with
+  | Lident s -> Some s
+  | Ldot (Lident "Stdlib", s) when String.length s > 6 && String.sub s 0 6 = "print_" ->
+      Some ("Stdlib." ^ s)
+  | Ldot (Lident "Printf", "printf") -> Some "Printf.printf"
+  | Ldot (Lident "Format", "printf") -> Some "Format.printf"
+  | Ldot (Lident "Format", "print_string") -> Some "Format.print_string"
+  | Ldot (Lident "Format", "print_newline") -> Some "Format.print_newline"
+  | _ -> None
+
+let is_print txt =
+  match (txt : Longident.t) with
+  | Lident s | Ldot (Lident "Stdlib", s) ->
+      List.mem s
+        [
+          "print_string"; "print_endline"; "print_newline"; "print_int"; "print_char";
+          "print_float"; "print_bytes";
+        ]
+  | Ldot (Lident "Printf", "printf") | Ldot (Lident "Format", "printf")
+  | Ldot (Lident "Format", "print_string")
+  | Ldot (Lident "Format", "print_newline") ->
+      true
+  | _ -> false
+
+let is_poly_compare txt =
+  match (txt : Longident.t) with
+  | Lident "compare"
+  | Ldot (Lident "Stdlib", "compare")
+  | Ldot (Lident "Pervasives", "compare")
+  | Ldot (Lident "Hashtbl", "hash") ->
+      true
+  | _ -> false
+
+let is_eq_op txt =
+  match (txt : Longident.t) with
+  | Lident s | Ldot (Lident "Stdlib", s) -> List.mem s eq_operators
+  | _ -> false
+
+let is_obj_magic txt =
+  match (txt : Longident.t) with
+  | Ldot (Lident "Obj", "magic") -> true
+  | _ -> false
+
+let lident_to_string txt =
+  String.concat "." (Longident.flatten txt)
+
+let is_float_literal (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident ("~-." | "~+."); _ }; _ },
+        [ (_, { pexp_desc = Pexp_constant (Pconst_float _); _ }) ] ) ->
+      true
+  | _ -> false
+
+let lint_source config ~file src =
+  let findings = ref [] in
+  let allow = allow_table src in
+  let report loc rule detail =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    if not (allowed allow line rule) then
+      findings := { file; line; rule; detail } :: !findings
+  in
+  (* Checks on an identifier in function (applied) position: everything
+     except the poly-eq-as-value rule, which only fires on a bare
+     occurrence. *)
+  let check_head txt loc args =
+    if config.check_poly && is_poly_compare txt then
+      report loc Poly_compare
+        (Printf.sprintf "polymorphic %s on group-element/word data" (lident_to_string txt));
+    if is_obj_magic txt then report loc Obj_magic "Obj.magic";
+    if (not config.allow_print) && is_print txt then
+      report loc Print_stdout
+        (Printf.sprintf "%s writes to stdout from library code"
+           (match print_detail txt with Some s -> s | None -> lident_to_string txt));
+    if is_eq_op txt && List.exists (fun (_, a) -> is_float_literal a) args then
+      report loc Float_eq
+        (Printf.sprintf "exact float comparison (%s) against a literal"
+           (lident_to_string txt))
+  in
+  let check_bare txt loc =
+    if config.check_poly && is_poly_compare txt then
+      report loc Poly_compare
+        (Printf.sprintf "polymorphic %s on group-element/word data" (lident_to_string txt));
+    if config.check_poly && is_eq_op txt then
+      report loc Poly_eq
+        (Printf.sprintf "polymorphic ( %s ) used as a function value" (lident_to_string txt));
+    if is_obj_magic txt then report loc Obj_magic "Obj.magic";
+    if (not config.allow_print) && is_print txt then
+      report loc Print_stdout
+        (Printf.sprintf "%s writes to stdout from library code" (lident_to_string txt))
+  in
+  let default = Ast_iterator.default_iterator in
+  let expr iterator (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+        check_head txt loc args;
+        List.iter (fun (_, a) -> iterator.Ast_iterator.expr iterator a) args
+    | Pexp_ident { txt; loc } -> check_bare txt loc
+    | _ -> default.Ast_iterator.expr iterator e
+  in
+  let iterator = { default with Ast_iterator.expr } in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  let structure =
+    try Parse.implementation lexbuf
+    with exn -> failwith (Printf.sprintf "%s: parse error (%s)" file (Printexc.to_string exn))
+  in
+  iterator.Ast_iterator.structure iterator structure;
+  List.sort (fun a b -> Int.compare a.line b.line) (List.rev !findings)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?config path =
+  let config = match config with Some c -> c | None -> config_for_path path in
+  lint_source config ~file:path (read_file path)
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line (rule_name f.rule) f.detail

@@ -1,0 +1,51 @@
+(** [hsp_lint]: a source-level pass over the OCaml sources using
+    [compiler-libs]' Parsetree.
+
+    Rules (names as written in allowlist comments):
+
+    - [poly-compare] — unqualified [compare], [Stdlib.compare] or
+      [Hashtbl.hash].  Only checked where {!config.check_poly} is set
+      (the driver sets it for [lib/group] and [lib/core], whose values
+      are group elements and words: polymorphic comparison silently
+      diverges from the modules' own [equal]/[compare] on
+      non-canonical representatives).
+    - [poly-eq] — [( = )], [( <> )], [( == )] or [( != )] passed as a
+      function value (e.g. [~equal:( = )]).  Same scope as
+      [poly-compare].
+    - [float-eq] — [=]/[<>]/[==]/[!=] applied with a float literal
+      operand, anywhere: exact float comparison is almost always a
+      tolerance bug in a numerical simulator.
+    - [obj-magic] — any use of [Obj.magic], anywhere.
+    - [print-stdout] — [Printf.printf], [Format.printf] and the
+      [print_*] family, unless {!config.allow_print} (set for [bin/],
+      [bench/], [test/] and [examples/]): libraries must log through
+      [Logs] or return values, not write to the simulator's stdout.
+
+    A finding on line [L] is suppressed by an allowlist comment
+    [(* hsp-lint: allow <rule> [<rule> ...] *)] (or [allow all]) on
+    line [L] or [L-1]. *)
+
+type rule = Poly_compare | Poly_eq | Float_eq | Obj_magic | Print_stdout
+
+val rule_name : rule -> string
+val rule_of_name : string -> rule option
+
+type finding = { file : string; line : int; rule : rule; detail : string }
+
+type config = {
+  check_poly : bool;  (** enforce [poly-compare] / [poly-eq] *)
+  allow_print : bool;  (** drop the [print-stdout] rule *)
+}
+
+val config_for_path : string -> config
+(** [check_poly] under [lib/group] and [lib/core]; [allow_print] under
+    [bin/], [bench/], [test/] and [examples/]. *)
+
+val lint_source : config -> file:string -> string -> finding list
+(** Parse and lint one compilation unit given as a string.
+    @raise Failure if the source does not parse. *)
+
+val lint_file : ?config:config -> string -> finding list
+(** Reads the file; [config] defaults to {!config_for_path}. *)
+
+val pp_finding : Format.formatter -> finding -> unit

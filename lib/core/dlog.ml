@@ -51,7 +51,7 @@ let discrete_log rng ~p ~g ~h =
     Groups.Group.make ~name:(Printf.sprintf "Z_%d^*" p)
       ~mul:(fun a b -> a * b mod p)
       ~inv:(fun a -> Arith.invmod a p)
-      ~id:1 ~equal:( = ) ~repr:string_of_int
+      ~id:1 ~equal:Int.equal ~repr:string_of_int
       ~generators:[ g mod p ]
   in
   discrete_log_in_group rng grp ~base:(g mod p) (h mod p) ~order:r

@@ -1,5 +1,8 @@
 type elt = int array
 
+let equal (a : elt) b =
+  Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
+
 let registry : (string, int array) Hashtbl.t = Hashtbl.create 8
 
 let product dims =
@@ -21,7 +24,7 @@ let product dims =
   Group.make ~name
     ~mul:(fun a b -> reduce (Array.init r (fun i -> a.(i) + b.(i))))
     ~inv:(fun a -> reduce (Array.map (fun x -> -x) a))
-    ~id:(Array.make r 0) ~equal:( = )
+    ~id:(Array.make r 0) ~equal
     ~repr:(fun a -> String.concat "," (List.map string_of_int (Array.to_list a)))
     ~generators
 

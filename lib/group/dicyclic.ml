@@ -1,5 +1,7 @@
 type elt = { j : int; e : int }
 
+let equal x y = x.j = y.j && x.e = y.e
+
 (* Multiplication from the normal form a^j b^e:
    b a^j = a^-j b, and b^2 = a^n, hence
    (a^j b^e)(a^j' b^e') =
@@ -21,7 +23,7 @@ let group n =
   in
   Group.make
     ~name:(Printf.sprintf "Q_%d" (4 * n))
-    ~mul ~inv ~id:{ j = 0; e = 0 } ~equal:( = )
+    ~mul ~inv ~id:{ j = 0; e = 0 } ~equal
     ~repr:(fun x -> Printf.sprintf "%d.%d" x.j x.e)
     ~generators:[ { j = 1; e = 0 }; { j = 0; e = 1 } ]
 

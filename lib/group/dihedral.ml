@@ -1,5 +1,7 @@
 type elt = { rot : int; flip : bool }
 
+let equal a b = a.rot = b.rot && Bool.equal a.flip b.flip
+
 (* Presentation: s^n = t^2 = 1, t s t = s^-1.  Elements s^r t^e;
    (s^a t^e1)(s^b t^e2) = s^(a + b or a - b) t^(e1 xor e2). *)
 let group n =
@@ -14,7 +16,7 @@ let group n =
     ~name:(Printf.sprintf "D_%d" n)
     ~mul ~inv
     ~id:{ rot = 0; flip = false }
-    ~equal:( = )
+    ~equal
     ~repr:(fun a -> Printf.sprintf "%d%c" a.rot (if a.flip then 't' else 'r'))
     ~generators:[ { rot = 1; flip = false }; { rot = 0; flip = true } ]
 

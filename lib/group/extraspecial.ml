@@ -2,6 +2,11 @@ open Numtheory
 
 type elt = { a : int array; b : int array; c : int }
 
+let vec_equal (a : int array) b =
+  Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
+
+let equal x y = x.c = y.c && vec_equal x.a y.a && vec_equal x.b y.b
+
 let dot p a b =
   let s = ref 0 in
   Array.iteri (fun i x -> s := (!s + (x * b.(i))) mod p) a;
@@ -36,7 +41,7 @@ let group ~p ~m =
     ~name:(Printf.sprintf "H_%d(%d)" p m)
     ~mul ~inv
     ~id:{ a = zero; b = zero; c = 0 }
-    ~equal:( = )
+    ~equal
     ~repr:(fun x ->
       String.concat ","
         (List.map string_of_int (Array.to_list x.a @ Array.to_list x.b @ [ x.c ])))

@@ -2,6 +2,15 @@ open Numtheory
 
 type elt = int array array
 
+(* entries are kept reduced mod p, so per-entry equality is exact *)
+let equal (a : elt) b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb
+         && Array.for_all2 (fun (x : int) y -> x = y) ra rb)
+       a b
+
 let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
 
 let reduce p m = Array.map (Array.map (fun x -> Arith.emod x p)) m
@@ -100,7 +109,7 @@ let group ?name ~p ~dim generators =
     generators;
   let name = match name with Some s -> s | None -> Printf.sprintf "Mat(%d,GF(%d))" dim p in
   let generators = List.map (reduce p) generators in
-  Group.make ~name ~mul:(mul p) ~inv:(inv p) ~id:(identity dim) ~equal:( = ) ~repr ~generators
+  Group.make ~name ~mul:(mul p) ~inv:(inv p) ~id:(identity dim) ~equal ~repr ~generators
 
 let section6_type_a ~p ~a =
   let k = Array.length a in

@@ -2,6 +2,8 @@ open Numtheory
 
 type elt = { a : int; b : int }
 
+let equal x y = x.a = y.a && x.b = y.b
+
 let group ~n ~m ~k =
   if n < 1 || m < 1 then invalid_arg "Metacyclic.group: n, m >= 1 required";
   if Arith.gcd k n <> 1 then invalid_arg "Metacyclic.group: gcd(k, n) <> 1";
@@ -18,7 +20,7 @@ let group ~n ~m ~k =
   in
   Group.make
     ~name:(Printf.sprintf "Z%d:%d:Z%d" n k m)
-    ~mul ~inv ~id:{ a = 0; b = 0 } ~equal:( = )
+    ~mul ~inv ~id:{ a = 0; b = 0 } ~equal
     ~repr:(fun x -> Printf.sprintf "%d.%d" x.a x.b)
     ~generators:[ { a = 1; b = 0 }; { a = 0; b = 1 } ]
 

@@ -1,5 +1,8 @@
 type elt = int array
 
+let equal (p : elt) q =
+  Array.length p = Array.length q && Array.for_all2 (fun (x : int) y -> x = y) p q
+
 let identity n = Array.init n (fun i -> i)
 
 let compose p q =
@@ -59,7 +62,7 @@ let to_cycles p =
       cycles := List.rev !cycle :: !cycles
     end
   done;
-  List.sort compare !cycles
+  List.sort (List.compare Int.compare) !cycles
 
 let parity p =
   let moved = List.fold_left (fun acc c -> acc + List.length c - 1) 0 (to_cycles p) in
@@ -74,7 +77,7 @@ let group ?name n generators =
         invalid_arg "Perm.group: invalid generator")
     generators;
   let name = match name with Some s -> s | None -> Printf.sprintf "Perm(%d)" n in
-  Group.make ~name ~mul:compose ~inv:inverse ~id:(identity n) ~equal:( = ) ~repr
+  Group.make ~name ~mul:compose ~inv:inverse ~id:(identity n) ~equal ~repr
     ~generators
 
 let cyclic_shift n = Array.init n (fun i -> (i + 1) mod n)

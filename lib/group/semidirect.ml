@@ -1,5 +1,10 @@
 type elt = { v : int array; t : int }
 
+let vec_equal (a : int array) b =
+  Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
+
+let equal x y = x.t = y.t && vec_equal x.v y.v
+
 let mat_apply a v =
   Array.init (Array.length v) (fun i ->
       let s = ref 0 in
@@ -43,7 +48,7 @@ let group ~action ~m =
     ~name:(Printf.sprintf "Z2^%d:Z%d" n m)
     ~mul ~inv
     ~id:{ v = zero; t = 0 }
-    ~equal:( = )
+    ~equal
     ~repr:(fun x ->
       String.concat "" (List.map string_of_int (Array.to_list x.v)) ^ "." ^ string_of_int x.t)
     ~generators

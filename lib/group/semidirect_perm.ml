@@ -1,5 +1,10 @@
 type elt = { v : int array; s : Perm.elt }
 
+let vec_equal (a : int array) b =
+  Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
+
+let equal x y = vec_equal x.v y.v && Perm.equal x.s y.s
+
 let apply_perm (s : Perm.elt) v = Array.init (Array.length v) (fun i -> v.(s.(i)))
 (* (s(w))_i = w_{s(i)}: the convention only needs to be a consistent
    action; with composition (compose p q) i = p (q i) this satisfies
@@ -35,7 +40,7 @@ let group ~n ~top =
     ~name:(Printf.sprintf "Z2^%d:Perm" n)
     ~mul ~inv
     ~id:{ v = zero; s = Perm.identity n }
-    ~equal:( = )
+    ~equal
     ~repr:(fun x ->
       String.concat "" (List.map string_of_int (Array.to_list x.v))
       ^ "."

@@ -1,5 +1,5 @@
 let key_of (g : 'a Group.t) elems =
-  String.concat "|" (List.sort compare (List.map g.Group.repr elems))
+  String.concat "|" (List.sort String.compare (List.map g.Group.repr elems))
 
 let all_subgroups ?(max_subgroups = 10_000) (g : 'a Group.t) =
   let elements = Group.elements g in
@@ -27,7 +27,7 @@ let all_subgroups ?(max_subgroups = 10_000) (g : 'a Group.t) =
       elements
   done;
   Hashtbl.fold (fun _ s acc -> s :: acc) found []
-  |> List.sort (fun a b -> compare (List.length a) (List.length b))
+  |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
 
 let count g = List.length (all_subgroups g)
 

@@ -1,5 +1,10 @@
 type elt = { u : int array; v : int array; s : int }
 
+let vec_equal (a : int array) b =
+  Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
+
+let equal x y = x.s = y.s && vec_equal x.u y.u && vec_equal x.v y.v
+
 let group k =
   if k < 1 then invalid_arg "Wreath.group: k < 1";
   let add a b = Array.init k (fun i -> (a.(i) + b.(i)) land 1) in
@@ -18,7 +23,7 @@ let group k =
     ~name:(Printf.sprintf "Z2^%d_wr_Z2" k)
     ~mul ~inv
     ~id:{ u = zero; v = zero; s = 0 }
-    ~equal:( = )
+    ~equal
     ~repr:(fun x ->
       String.concat ""
         (List.map string_of_int (Array.to_list x.u @ Array.to_list x.v @ [ x.s ])))

@@ -27,7 +27,7 @@ let norm v = sqrt (norm2 v)
 
 let normalize v =
   let n = norm v in
-  if n = 0.0 then invalid_arg "Cvec.normalize: zero vector";
+  if n < 1e-150 then invalid_arg "Cvec.normalize: zero vector";
   Array.map (Cx.scale (1.0 /. n)) v
 
 let approx_equal ?(eps = 1e-9) a b =

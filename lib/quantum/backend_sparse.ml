@@ -56,7 +56,7 @@ let norm t = sqrt (norm2 t)
 
 let normalize t =
   let n = norm t in
-  if n = 0.0 then invalid_arg "State: zero vector";
+  if n < 1e-150 then invalid_arg "State: zero vector";
   if Float.abs (n -. 1.0) < 1e-15 then t
   else begin
     let tbl = Hashtbl.create (Hashtbl.length t.tbl) in

@@ -5,7 +5,20 @@ type op = Gate of Cmat.t * int list
 type t = { num_qubits : int; ops : op list }
 
 let empty n = { num_qubits = n; ops = [] }
-let gate t m wires = { t with ops = t.ops @ [ Gate (m, wires) ] }
+
+let gate t m wires =
+  let arity = List.length wires in
+  if arity = 0 then invalid_arg "Circuit.gate: empty wire list";
+  List.iter
+    (fun w ->
+      if w < 0 || w >= t.num_qubits then invalid_arg "Circuit.gate: wire out of range")
+    wires;
+  if List.length (List.sort_uniq Int.compare wires) <> arity then
+    invalid_arg "Circuit.gate: duplicate wires";
+  let dim = 1 lsl arity in
+  if Cmat.rows m <> dim || Cmat.cols m <> dim then
+    invalid_arg "Circuit.gate: matrix dimension does not match wire count";
+  { t with ops = t.ops @ [ Gate (m, wires) ] }
 
 let seq a b =
   if a.num_qubits <> b.num_qubits then invalid_arg "Circuit.seq: arity mismatch";

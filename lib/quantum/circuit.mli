@@ -15,7 +15,11 @@ type t = { num_qubits : int; ops : op list }
 
 val empty : int -> t
 val gate : t -> Linalg.Cmat.t -> int list -> t
-(** Append a gate (applied after the existing ones). *)
+(** Append a gate (applied after the existing ones).
+    @raise Invalid_argument on an empty wire list, a wire outside
+    [0, num_qubits), duplicate wires, or a matrix whose dimension is
+    not [2^|wires|] — the same conditions [Analysis.Circuit_check]
+    enforces statically. *)
 
 val seq : t -> t -> t
 (** [seq a b] runs [a] then [b]; both must have the same arity. *)

@@ -1,0 +1,339 @@
+(* Tests for the static-verification layer (lib/analysis): circuit
+   well-formedness checking, QFT gate-count closed forms, per-theorem
+   cost-claim gates, and the hsp_lint source pass. *)
+
+open Linalg
+open Analysis
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit_check: accepting well-formed circuits                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_accepts_qft () =
+  List.iter
+    (fun n ->
+      match Circuit_check.check (Quantum.Circuit.qft n) with
+      | Ok r ->
+          checki "num_qubits" n r.Circuit_check.num_qubits;
+          checkb "positive depth" true (r.Circuit_check.depth >= 1);
+          checkb "depth <= gates" true (r.Circuit_check.depth <= r.Circuit_check.gates)
+      | Error vs ->
+          Alcotest.failf "qft %d rejected: %d violations" n (List.length vs))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_accepts_inverse_qft () =
+  match Circuit_check.check (Quantum.Circuit.inverse (Quantum.Circuit.qft 4)) with
+  | Ok r -> checki "same gate count" (Circuit_check.qft_exact_gate_count 4) r.Circuit_check.gates
+  | Error _ -> Alcotest.fail "inverse qft rejected"
+
+let test_accepts_phase_estimation_shape () =
+  (* the phase-estimation skeleton: Hadamards, a controlled unitary,
+     then an inverse QFT on the clock wires *)
+  let open Quantum in
+  let c = Circuit.empty 3 in
+  let c = Circuit.gate c Gates.h [ 0 ] in
+  let c = Circuit.gate c Gates.h [ 1 ] in
+  let c = Circuit.gate c (Gates.controlled (Gates.rk 2)) [ 0; 2 ] in
+  let c = Circuit.seq c (Circuit.inverse (Circuit.qft 3)) in
+  match Circuit_check.check c with
+  | Ok r -> checkb "has gates" true (r.Circuit_check.gates > 3)
+  | Error _ -> Alcotest.fail "phase-estimation circuit rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Circuit_check: rejecting crafted fixtures.  [Circuit.gate] now     *)
+(* raises on these, so the broken values are built directly.          *)
+(* ------------------------------------------------------------------ *)
+
+let non_unitary = Cmat.init 2 2 (fun _ _ -> Cx.one)
+
+let test_rejects_non_unitary () =
+  let c = { Quantum.Circuit.num_qubits = 1; ops = [ Quantum.Circuit.Gate (non_unitary, [ 0 ]) ] } in
+  match Circuit_check.check c with
+  | Ok _ -> Alcotest.fail "non-unitary gate accepted"
+  | Error vs ->
+      checkb "flags gate 0" true (List.exists (fun v -> v.Circuit_check.gate = Some 0) vs);
+      checkb "mentions unitary" true
+        (List.exists
+           (fun v ->
+             let what = v.Circuit_check.what in
+             (* substring search, 4.14-compatible *)
+             let rec has i =
+               i + 7 <= String.length what && (String.sub what i 7 = "unitary" || has (i + 1))
+             in
+             has 0)
+           vs)
+
+let test_rejects_duplicate_wires () =
+  let c =
+    { Quantum.Circuit.num_qubits = 2;
+      ops = [ Quantum.Circuit.Gate (Cmat.identity 4, [ 0; 0 ]) ] }
+  in
+  match Circuit_check.check c with
+  | Ok _ -> Alcotest.fail "duplicate wires accepted"
+  | Error vs -> checkb "flags gate 0" true (List.exists (fun v -> v.Circuit_check.gate = Some 0) vs)
+
+let test_rejects_out_of_range_wire () =
+  let c =
+    { Quantum.Circuit.num_qubits = 2;
+      ops = [ Quantum.Circuit.Gate (Cmat.identity 2, [ 5 ]) ] }
+  in
+  checkb "rejected" true (Result.is_error (Circuit_check.check c))
+
+let test_rejects_dim_mismatch () =
+  let c =
+    { Quantum.Circuit.num_qubits = 2;
+      ops = [ Quantum.Circuit.Gate (Cmat.identity 2, [ 0; 1 ]) ] }
+  in
+  checkb "rejected" true (Result.is_error (Circuit_check.check c))
+
+let test_collects_all_violations () =
+  let c =
+    { Quantum.Circuit.num_qubits = 1;
+      ops =
+        [ Quantum.Circuit.Gate (non_unitary, [ 0 ]);
+          Quantum.Circuit.Gate (Cmat.identity 2, [ 3 ]) ] }
+  in
+  match Circuit_check.check c with
+  | Ok _ -> Alcotest.fail "accepted"
+  | Error vs -> checkb "both gates flagged" true (List.length vs >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit.gate / Circuit.seq argument validation                     *)
+(* ------------------------------------------------------------------ *)
+
+let raises_invalid f = match f () with _ -> false | exception Invalid_argument _ -> true
+
+let test_gate_raises () =
+  let open Quantum in
+  let c = Circuit.empty 2 in
+  checkb "out of range" true (raises_invalid (fun () -> Circuit.gate c Gates.h [ 2 ]));
+  checkb "negative wire" true (raises_invalid (fun () -> Circuit.gate c Gates.h [ -1 ]));
+  checkb "duplicate" true (raises_invalid (fun () -> Circuit.gate c Gates.swap [ 0; 0 ]));
+  checkb "empty wires" true (raises_invalid (fun () -> Circuit.gate c Gates.h []));
+  checkb "dim mismatch" true (raises_invalid (fun () -> Circuit.gate c Gates.h [ 0; 1 ]));
+  checkb "valid still works" true
+    (match Circuit.gate c Gates.swap [ 0; 1 ] with _ -> true)
+
+let test_seq_raises () =
+  let open Quantum in
+  checkb "arity mismatch" true
+    (raises_invalid (fun () -> Circuit.seq (Circuit.empty 2) (Circuit.empty 3)))
+
+(* ------------------------------------------------------------------ *)
+(* QFT gate-count closed forms                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_qft_exact_counts () =
+  for n = 2 to 8 do
+    checki
+      (Printf.sprintf "exact formula n=%d" n)
+      ((n * (n + 1) / 2) + (n / 2))
+      (Circuit_check.qft_exact_gate_count n);
+    checki
+      (Printf.sprintf "builder matches n=%d" n)
+      (Circuit_check.qft_exact_gate_count n)
+      (Quantum.Circuit.gate_count (Quantum.Circuit.qft n));
+    match Circuit_check.check_qft n with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.failf "check_qft %d failed" n
+  done
+
+let test_qft_approx_counts () =
+  List.iter
+    (fun (n, t) ->
+      checki
+        (Printf.sprintf "approx builder n=%d t=%d" n t)
+        (Circuit_check.qft_approx_gate_count ~threshold:t n)
+        (Quantum.Circuit.gate_count (Quantum.Circuit.qft ~approx_threshold:t n));
+      match Circuit_check.check_qft ~approx_threshold:t n with
+      | Ok r ->
+          (* rotations kept: gaps g = 1 .. min(t-1, n-1), n-g each *)
+          let expect = ref 0 in
+          for g = 1 to min (t - 1) (n - 1) do
+            expect := !expect + (n - g)
+          done;
+          checki "rotation count" !expect r.Circuit_check.rotations
+      | Error _ -> Alcotest.failf "check_qft ~approx %d %d failed" n t)
+    [ (4, 2); (5, 3); (6, 2); (7, 4); (8, 3); (8, 20) ]
+
+let test_qft_approx_saturates () =
+  (* threshold beyond n reproduces the exact circuit *)
+  checki "saturated = exact" (Circuit_check.qft_exact_gate_count 6)
+    (Circuit_check.qft_approx_gate_count ~threshold:100 6)
+
+(* ------------------------------------------------------------------ *)
+(* Cost_check: claim table and verdicts                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_claim_table_labels () =
+  List.iter
+    (fun l -> checkb ("claim " ^ l) true (Cost_check.find l <> None))
+    [ "3"; "4"; "6"; "8"; "11"; "13g"; "13c" ];
+  checkb "unknown label" true (Cost_check.find "99" = None)
+
+let test_claim_within_budget () =
+  let claim = Option.get (Cost_check.find "3") in
+  let p = Cost_check.params ~group_order:16 () in
+  let v = Cost_check.check claim p ~queries:14 ~gates:48 in
+  checkb "ok" true v.Cost_check.ok;
+  checkb "cell ok" true (String.equal (Cost_check.cell v) "ok")
+
+let test_claim_violated () =
+  let claim = Option.get (Cost_check.find "3") in
+  let p = Cost_check.params ~group_order:16 () in
+  (* a Theta(|G|)-query regression must trip the poly(log |G|) budget *)
+  let v = Cost_check.check claim p ~queries:(16 * 16) ~gates:48 in
+  checkb "not ok" false v.Cost_check.ok;
+  checkb "cell says OVER" true
+    (String.length (Cost_check.cell v) >= 4 && String.sub (Cost_check.cell v) 0 4 = "OVER");
+  let v = Cost_check.check claim p ~queries:1 ~gates:1_000_000 in
+  checkb "gate overflow also trips" false v.Cost_check.ok
+
+let test_claim_budgets_monotone () =
+  (* growing any parameter never shrinks a budget — required for the
+     regression-gate reading of the claims *)
+  let base = Cost_check.params ~group_order:64 ~quotient_order:2 ~nu:1 () in
+  let bigger =
+    Cost_check.params ~group_order:4096 ~quotient_order:8 ~commutator_order:5 ~nu:3 ()
+  in
+  List.iter
+    (fun l ->
+      let c = Option.get (Cost_check.find l) in
+      checkb ("queries monotone " ^ l) true (c.Cost_check.queries bigger >= c.Cost_check.queries base);
+      checkb ("gates monotone " ^ l) true (c.Cost_check.gates bigger >= c.Cost_check.gates base))
+    [ "3"; "4"; "6"; "8"; "11"; "13g"; "13c" ]
+
+let test_log2_ceil () =
+  List.iter
+    (fun (n, e) -> checki (Printf.sprintf "log2_ceil %d" n) e (Cost_check.log2_ceil n))
+    [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (16, 4); (17, 5); (1024, 10) ]
+
+(* ------------------------------------------------------------------ *)
+(* Lint: inline-snippet unit tests                                    *)
+(* ------------------------------------------------------------------ *)
+
+let strict = { Lint.check_poly = true; allow_print = false }
+let lenient = { Lint.check_poly = false; allow_print = true }
+
+let rules_of cfg src =
+  List.map (fun f -> f.Lint.rule) (Lint.lint_source cfg ~file:"snippet.ml" src)
+
+let test_lint_poly_compare () =
+  checkb "bare compare" true (List.mem Lint.Poly_compare (rules_of strict "let f a b = compare a b"));
+  checkb "Stdlib.compare" true
+    (List.mem Lint.Poly_compare (rules_of strict "let f a b = Stdlib.compare a b"));
+  checkb "Hashtbl.hash" true
+    (List.mem Lint.Poly_compare (rules_of strict "let h x = Hashtbl.hash x"));
+  checkb "scoped off" true (rules_of lenient "let f a b = compare a b" = []);
+  checkb "module-qualified ok" true
+    (rules_of strict "let f a b = Int.compare a b" = [])
+
+let test_lint_poly_eq () =
+  checkb "eq as value" true
+    (List.mem Lint.Poly_eq (rules_of strict "let f xs = List.mem ( = ) xs"));
+  checkb "applied int eq ok" true (rules_of strict "let f (a : int) b = a = b" = [])
+
+let test_lint_float_eq () =
+  checkb "float literal" true (List.mem Lint.Float_eq (rules_of strict "let f x = x = 1.0"));
+  checkb "also when scoped off" true
+    (List.mem Lint.Float_eq (rules_of lenient "let f x = 0.5 <> x"));
+  checkb "int literal ok" true (rules_of lenient "let f x = x = 1" = [])
+
+let test_lint_obj_magic () =
+  checkb "obj magic" true (List.mem Lint.Obj_magic (rules_of lenient "let f x = Obj.magic x"))
+
+let test_lint_print_stdout () =
+  checkb "printf" true
+    (List.mem Lint.Print_stdout (rules_of strict "let f () = Printf.printf \"x\""));
+  checkb "print_endline" true
+    (List.mem Lint.Print_stdout (rules_of strict "let f () = print_endline \"x\""));
+  checkb "allowed in bin" true (rules_of lenient "let f () = print_endline \"x\"" = []);
+  checkb "eprintf ok" true (rules_of strict "let f () = Printf.eprintf \"x\"" = [])
+
+let test_lint_allowlist () =
+  checkb "same-line allow" true
+    (rules_of strict "let f a b = compare a b (* hsp-lint: allow poly-compare *)" = []);
+  checkb "previous-line allow" true
+    (rules_of strict "(* hsp-lint: allow poly-compare *)\nlet f a b = compare a b" = []);
+  checkb "allow all" true
+    (rules_of strict "(* hsp-lint: allow all *)\nlet f a b = compare a b" = []);
+  checkb "wrong rule does not suppress" true
+    (List.mem Lint.Poly_compare
+       (rules_of strict "(* hsp-lint: allow float-eq *)\nlet f a b = compare a b"))
+
+let test_lint_finding_location () =
+  match Lint.lint_source strict ~file:"loc.ml" "let a = 1\nlet f a b = compare a b" with
+  | [ f ] ->
+      checki "line" 2 f.Lint.line;
+      Alcotest.(check string) "file" "loc.ml" f.Lint.file;
+      Alcotest.(check string) "rule name" "poly-compare" (Lint.rule_name f.Lint.rule)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_lint_config_for_path () =
+  let c = Lint.config_for_path "lib/group/perm.ml" in
+  checkb "group: poly on" true c.Lint.check_poly;
+  checkb "group: print off" false c.Lint.allow_print;
+  let c = Lint.config_for_path "lib/core/runner.ml" in
+  checkb "core: poly on" true c.Lint.check_poly;
+  let c = Lint.config_for_path "lib/linalg/cmat.ml" in
+  checkb "linalg: poly off" false c.Lint.check_poly;
+  let c = Lint.config_for_path "bench/main.ml" in
+  checkb "bench: print ok" true c.Lint.allow_print
+
+let test_lint_rule_names_roundtrip () =
+  List.iter
+    (fun r ->
+      match Lint.rule_of_name (Lint.rule_name r) with
+      | Some r' -> checkb "roundtrip" true (r = r')
+      | None -> Alcotest.failf "rule name %s does not parse" (Lint.rule_name r))
+    [ Lint.Poly_compare; Lint.Poly_eq; Lint.Float_eq; Lint.Obj_magic; Lint.Print_stdout ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "circuit_check",
+        [
+          Alcotest.test_case "accepts qft" `Quick test_accepts_qft;
+          Alcotest.test_case "accepts inverse qft" `Quick test_accepts_inverse_qft;
+          Alcotest.test_case "accepts phase estimation" `Quick test_accepts_phase_estimation_shape;
+          Alcotest.test_case "rejects non-unitary" `Quick test_rejects_non_unitary;
+          Alcotest.test_case "rejects duplicate wires" `Quick test_rejects_duplicate_wires;
+          Alcotest.test_case "rejects out-of-range wire" `Quick test_rejects_out_of_range_wire;
+          Alcotest.test_case "rejects dim mismatch" `Quick test_rejects_dim_mismatch;
+          Alcotest.test_case "collects all violations" `Quick test_collects_all_violations;
+        ] );
+      ( "circuit_validation",
+        [
+          Alcotest.test_case "gate raises" `Quick test_gate_raises;
+          Alcotest.test_case "seq raises" `Quick test_seq_raises;
+        ] );
+      ( "qft_counts",
+        [
+          Alcotest.test_case "exact formulas n=2..8" `Quick test_qft_exact_counts;
+          Alcotest.test_case "approx formulas" `Quick test_qft_approx_counts;
+          Alcotest.test_case "approx saturates" `Quick test_qft_approx_saturates;
+        ] );
+      ( "cost_check",
+        [
+          Alcotest.test_case "table labels" `Quick test_claim_table_labels;
+          Alcotest.test_case "within budget" `Quick test_claim_within_budget;
+          Alcotest.test_case "violated" `Quick test_claim_violated;
+          Alcotest.test_case "budgets monotone" `Quick test_claim_budgets_monotone;
+          Alcotest.test_case "log2_ceil" `Quick test_log2_ceil;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_lint_poly_compare;
+          Alcotest.test_case "poly-eq" `Quick test_lint_poly_eq;
+          Alcotest.test_case "float-eq" `Quick test_lint_float_eq;
+          Alcotest.test_case "obj-magic" `Quick test_lint_obj_magic;
+          Alcotest.test_case "print-stdout" `Quick test_lint_print_stdout;
+          Alcotest.test_case "allowlist" `Quick test_lint_allowlist;
+          Alcotest.test_case "finding location" `Quick test_lint_finding_location;
+          Alcotest.test_case "config for path" `Quick test_lint_config_for_path;
+          Alcotest.test_case "rule names roundtrip" `Quick test_lint_rule_names_roundtrip;
+        ] );
+    ]
