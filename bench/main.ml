@@ -614,9 +614,9 @@ let e9 () =
 let e10 () =
   header
     "E10: dense vs sparse backend — planted Abelian HSP on Z_d1 x Z_d2, H = prod m_i Z_di"
-    [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "q-quant"; fmt_s "gates";
-      fmt_s "dft-fib"; fmt_s "peak-sup"; fmt_s "peak-dns"; fmt_s "ok"; fmt_s "claim";
-      fmt_s "sec" ];
+    [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "jobs"; fmt_s "q-quant";
+      fmt_s "gates"; fmt_s "dft-fib"; fmt_s "peak-sup"; fmt_s "peak-dns"; fmt_s "ok";
+      fmt_s "claim"; fmt_s "sec" ];
   let solve_planted ~dims ~moduli ~backend =
     let r = Array.length dims in
     let coset x0 =
@@ -652,14 +652,16 @@ let e10 () =
         (fun backend ->
           if backend = Quantum.Backend.Dense && total dims > Quantum.State.max_total_dim then
             row
-              [ fmt_s (show dims); fmt_i (total dims); fmt_s "dense"; fmt_s "-"; fmt_s "-";
-                fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "(>cap)" ]
+              [ fmt_s (show dims); fmt_i (total dims); fmt_s "dense";
+                fmt_i (Quantum.Parallel.jobs ()); fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "-";
+                fmt_s "-"; fmt_s "-"; fmt_s "-"; fmt_s "(>cap)" ]
           else begin
             let ok, q, sec, m = solve_planted ~dims ~moduli ~backend in
             let params = Analysis.Cost_check.params ~group_order:(total dims) () in
             row
               [ fmt_s (show dims); fmt_i (total dims);
-                fmt_s (Quantum.Backend.choice_to_string backend); fmt_i q;
+                fmt_s (Quantum.Backend.choice_to_string backend);
+                fmt_i (Quantum.Parallel.jobs ()); fmt_i q;
                 fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
                 fmt_i m.Quantum.Metrics.dft_fibres; fmt_i m.Quantum.Metrics.peak_support;
                 fmt_i m.Quantum.Metrics.peak_dense_alloc; fmt_s (string_of_bool ok);
@@ -673,6 +675,132 @@ let e10 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E11: multicore dense backend — domain-pool scaling + determinism   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload runs identically at jobs = 1, 2 and 4: a fresh RNG
+   with the same seed, a ledger reset, and a digest over every sampled
+   outcome.  The ok column asserts the determinism contract — digest
+   AND ledger equal to the jobs=1 baseline — and a violation fails the
+   run exactly like a cost-claim violation.  The speedup column
+   reflects the machine's available cores; on a single-core host the
+   parallel rows cost pool overhead and speedup hovers at or below 1. *)
+let e11 () =
+  header
+    "E11: dense backend domain-pool scaling — bit-identical results required at every job count"
+    [ fmt_s "workload"; fmt_s "|G|"; fmt_s "jobs"; fmt_s "digest"; fmt_s "ok";
+      fmt_s "speedup"; fmt_s "sec" ];
+  let counters (m : Quantum.Metrics.snapshot) =
+    [ m.Quantum.Metrics.gate_apps; m.Quantum.Metrics.gate_fibres; m.Quantum.Metrics.dft_apps;
+      m.Quantum.Metrics.dft_fibres; m.Quantum.Metrics.basis_maps; m.Quantum.Metrics.oracle_ops;
+      m.Quantum.Metrics.measurements; m.Quantum.Metrics.states_created;
+      m.Quantum.Metrics.peak_dense_alloc ]
+  in
+  let run_workload name total f =
+    let results =
+      List.map
+        (fun jobs ->
+          Quantum.Parallel.set_jobs jobs;
+          Quantum.Metrics.reset ();
+          let digest, sec = time_it (fun () -> f (Random.State.make [| 0xe11 |])) in
+          (jobs, digest, counters (Quantum.Metrics.snapshot ()), sec))
+        [ 1; 2; 4 ]
+    in
+    Quantum.Parallel.set_jobs 1;
+    match results with
+    | [] -> ()
+    | (_, base_digest, base_counters, base_sec) :: _ ->
+        List.iter
+          (fun (jobs, digest, cs, sec) ->
+            let ok =
+              String.equal digest base_digest && List.for_all2 Int.equal cs base_counters
+            in
+            if not ok then begin
+              incr claim_violations;
+              Printf.printf "claim violation: E11 %s at jobs=%d diverges from the jobs=1 run
+"
+                name jobs
+            end;
+            row
+              [ fmt_s name; fmt_i total; fmt_i jobs;
+                fmt_s (String.sub (Digest.to_hex digest) 0 8); fmt_s (string_of_bool ok);
+                fmt_f (base_sec /. Float.max 1e-9 sec); fmt_f sec ])
+          results
+  in
+  (* (a) Coset-state Fourier sampling on two large cyclic wires: the
+     QFT fast path (FFT over long fibres) plus full-register
+     measurement on growing dense registers (2^18, 2^20, 2^22). *)
+  let show dims = String.concat "x" (List.map string_of_int (Array.to_list dims)) in
+  List.iter
+    (fun (dims, moduli, rounds) ->
+      let r = Array.length dims in
+      let coset x0 =
+        let rec go i acc =
+          if i < 0 then acc
+          else
+            let reps = dims.(i) / moduli.(i) in
+            let choices =
+              List.init reps (fun k -> (x0.(i) + (k * moduli.(i))) mod dims.(i))
+            in
+            go (i - 1)
+              (List.concat_map (fun suffix -> List.map (fun c -> c :: suffix) choices) acc)
+        in
+        List.map Array.of_list (go (r - 1) [ [] ])
+      in
+      run_workload (show dims)
+        (Array.fold_left ( * ) 1 dims)
+        (fun rng ->
+          let queries = Quantum.Query.create () in
+          let draw =
+            Quantum.Coset_state.sampler_with_support ~backend:Quantum.Backend.Dense ~dims
+              ~coset ~queries ()
+          in
+          let buf = Buffer.create 256 in
+          for _ = 1 to rounds do
+            Array.iter
+              (fun v ->
+                Buffer.add_string buf (string_of_int v);
+                Buffer.add_char buf ',')
+              (draw rng)
+          done;
+          Digest.string (Buffer.contents buf)))
+    [
+      ([| 512; 512 |], [| 16; 32 |], 6);
+      ([| 1024; 1024 |], [| 32; 32 |], 4);
+      ([| 2048; 2048 |], [| 64; 64 |], 2);
+    ];
+  (* (b) Many small wires (4^10 = 2^20): per-wire gates drive the
+     gather/transform/scatter kernel over long rest-index loops, plus
+     an oracle write and a basis shift — the kernels workload (a)'s
+     FFT path does not touch. *)
+  let dims = Array.make 10 4 in
+  run_workload "4^10-wires"
+    (Array.fold_left ( * ) 1 dims)
+    (fun rng ->
+      let st = ref (Quantum.State.uniform ~backend:Quantum.Backend.Dense dims) in
+      let n = Array.length dims in
+      for w = 0 to n - 1 do
+        st := Quantum.State.apply_wire !st ~wire:w (Linalg.Cmat.dft dims.(w))
+      done;
+      st :=
+        Quantum.State.apply_oracle_add !st ~in_wires:[ 0; 1; 2 ] ~out_wire:(n - 1)
+          ~f:(fun x -> Array.fold_left ( + ) 0 x mod dims.(n - 1));
+      st :=
+        Quantum.State.apply_basis_map !st (fun x ->
+            Array.mapi (fun i xi -> (xi + i) mod dims.(i)) x);
+      let buf = Buffer.create 256 in
+      for _ = 1 to 3 do
+        let outcome, post = Quantum.State.measure rng !st ~wires:[ 0; 3; 7 ] in
+        st := post;
+        Array.iter
+          (fun v ->
+            Buffer.add_string buf (string_of_int v);
+            Buffer.add_char buf ',')
+          outcome
+      done;
+      Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: one small instance per theorem — the CI gate.  Fast, runs   *)
 (* through Runner so each row carries the ok verdict and the ledger;  *)
 (* CI fails the build if any ok cell is false.                        *)
@@ -680,8 +808,8 @@ let e10 () =
 
 let smoke () =
   header "Smoke: one small instance per theorem (CI gate)"
-    [ fmt_s "instance"; fmt_s "algo"; fmt_s "thm"; fmt_s "ok"; fmt_s "queries";
-      fmt_s "gates"; fmt_s "claim"; fmt_s "sec" ];
+    [ fmt_s "instance"; fmt_s "algo"; fmt_s "thm"; fmt_s "jobs"; fmt_s "ok";
+      fmt_s "queries"; fmt_s "gates"; fmt_s "claim"; fmt_s "sec" ];
   (* The claim gate counts every oracle evaluation — classical plus
      quantum — since the theorems bound total query complexity and our
      Theorem-8/11 routes schedule some of the paper's quantum queries
@@ -690,7 +818,7 @@ let smoke () =
     let queries = r.Runner.classical_queries + r.Runner.quantum_queries in
     row
       [ fmt_s r.Runner.instance; fmt_s r.Runner.algorithm; fmt_s thm;
-        fmt_s (string_of_bool r.Runner.ok); fmt_i queries;
+        fmt_i (Quantum.Parallel.jobs ()); fmt_s (string_of_bool r.Runner.ok); fmt_i queries;
         fmt_i
           (r.Runner.metrics.Quantum.Metrics.gate_apps
           + r.Runner.metrics.Quantum.Metrics.dft_apps);
@@ -742,7 +870,8 @@ let smoke () =
   let q = Quantum.Query.count queries in
   let m = Quantum.Metrics.snapshot () in
   row
-    [ fmt_s "ord(2 mod 15)"; fmt_s "shor"; fmt_s "4"; fmt_s (string_of_bool (o = Some 4));
+    [ fmt_s "ord(2 mod 15)"; fmt_s "shor"; fmt_s "4"; fmt_i (Quantum.Parallel.jobs ());
+      fmt_s (string_of_bool (o = Some 4));
       fmt_i q; fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
       fmt_s (claim_cell "4" ~params:(p ~group_order:15 ()) ~queries:q m); fmt_f sec ];
   Quantum.Metrics.reset ();
@@ -756,7 +885,8 @@ let smoke () =
   let q = Quantum.Query.count queries in
   let m = Quantum.Metrics.snapshot () in
   row
-    [ fmt_s "Z12xZ18"; fmt_s "membership"; fmt_s "6"; fmt_s (string_of_bool (res <> None));
+    [ fmt_s "Z12xZ18"; fmt_s "membership"; fmt_s "6"; fmt_i (Quantum.Parallel.jobs ());
+      fmt_s (string_of_bool (res <> None));
       fmt_i q; fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
       fmt_s (claim_cell "6" ~params:(p ~group_order:36 ()) ~queries:q m); fmt_f sec ]
 
@@ -828,7 +958,7 @@ let micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10) ] in
+  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11) ] in
   Printf.printf "HSP benchmark harness — reproduces EXPERIMENTS.md (seed fixed)\n";
   (match args with
   | [] ->

@@ -14,7 +14,8 @@
    correctness check against the planted ground truth.  A global
    [--backend dense|sparse|auto] flag selects the state-vector
    simulation backend (default: the HSP_BACKEND environment variable,
-   then auto). *)
+   then auto); [--jobs N] sets the dense backend's worker-domain count
+   (default: HSP_JOBS, then 1 — results are identical at any value). *)
 
 open Groups
 open Hsp
@@ -42,13 +43,32 @@ let backend_arg =
 
 let set_backend = function None -> () | Some c -> Quantum.Backend.set_default c
 
-(* Options shared by every subcommand: backend selection plus the two
-   observability switches. *)
+(* Options shared by every subcommand: backend selection, the parallel
+   job count, plus the two observability switches. *)
 type common = {
   backend : Quantum.Backend.choice option;
+  jobs : int option;
   trace : bool;
   metrics : bool;
 }
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the dense backend's parallel kernels (1..64).  Results are      bit-for-bit identical at every job count; the default is the $(b,HSP_JOBS)      environment variable, then 1 (serial)."
+  in
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 && n <= Quantum.Parallel.max_jobs -> Ok n
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf "expected a job count in 1..%d, got %s"
+                 Quantum.Parallel.max_jobs s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
 
 let trace_arg =
   let doc =
@@ -63,11 +83,12 @@ let metrics_arg =
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
 let common_arg =
-  let make backend trace metrics = { backend; trace; metrics } in
-  Term.(const make $ backend_arg $ trace_arg $ metrics_arg)
+  let make backend jobs trace metrics = { backend; jobs; trace; metrics } in
+  Term.(const make $ backend_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let setup common =
   set_backend common.backend;
+  (match common.jobs with None -> () | Some j -> Quantum.Parallel.set_jobs j);
   Quantum.Metrics.reset ();
   if common.trace then begin
     Logs.set_reporter (Logs_fmt.reporter ());

@@ -1,8 +1,9 @@
-type rule = Poly_compare | Poly_eq | Float_eq | Obj_magic | Print_stdout
+type rule = Poly_compare | Poly_eq | Struct_eq | Float_eq | Obj_magic | Print_stdout
 
 let rule_name = function
   | Poly_compare -> "poly-compare"
   | Poly_eq -> "poly-eq"
+  | Struct_eq -> "struct-eq"
   | Float_eq -> "float-eq"
   | Obj_magic -> "obj-magic"
   | Print_stdout -> "print-stdout"
@@ -10,6 +11,7 @@ let rule_name = function
 let rule_of_name = function
   | "poly-compare" -> Some Poly_compare
   | "poly-eq" -> Some Poly_eq
+  | "struct-eq" -> Some Struct_eq
   | "float-eq" -> Some Float_eq
   | "obj-magic" -> Some Obj_magic
   | "print-stdout" -> Some Print_stdout
@@ -26,7 +28,10 @@ let contains ~sub s =
 
 let config_for_path path =
   {
-    check_poly = contains ~sub:"lib/group" path || contains ~sub:"lib/core" path;
+    check_poly =
+      List.exists
+        (fun d -> contains ~sub:d path)
+        [ "lib/group"; "lib/core"; "lib/quantum"; "lib/linalg" ];
     allow_print =
       List.exists
         (fun d -> contains ~sub:d path)
@@ -139,6 +144,57 @@ let is_float_literal (e : Parsetree.expression) =
       true
   | _ -> false
 
+(* The struct-eq heuristic: an applied [=]/[<>] whose two operands both
+   project the same shape of data — the same record field on both sides
+   ([a.dims = b.dims]) or the same locally-defined accessor applied on
+   both sides ([dims a = dims b]).  Matching labels/heads is what makes
+   the comparison almost certainly structural rather than scalar; known
+   int-returning stdlib accessors are excluded to keep the rule quiet on
+   length checks. *)
+let scalar_heads =
+  [
+    "Array.length"; "List.length"; "String.length"; "Bytes.length"; "Hashtbl.length";
+    "Array.get"; "String.get"; "Bytes.get"; "Char.code"; "int_of_char"; "String.unsafe_get";
+    "Array.unsafe_get";
+  ]
+
+let field_label (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_field (_, { txt; _ }) -> Some (lident_to_string txt)
+  | _ -> None
+
+let is_symbolic name =
+  name = ""
+  ||
+  match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> false | _ -> true
+
+let apply_head (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _ :: _) -> (
+      let name = lident_to_string txt in
+      (* Operator applications ([!r], [a land b], [x * y]) and known
+         int-returning accessors are scalar expressions, not data
+         projections. *)
+      match Longident.last txt with
+      | last when is_symbolic last -> None
+      | last when List.mem last [ "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "mod"; "not" ] ->
+          None
+      | _ -> if List.mem name scalar_heads then None else Some name)
+  | _ -> None
+
+let structural_operands args =
+  match args with
+  | [ (_, l); (_, r) ] -> (
+      match (field_label l, field_label r) with
+      | Some fl, Some fr when String.equal fl fr ->
+          Some (Printf.sprintf "field %s of both operands" fl)
+      | _ -> (
+          match (apply_head l, apply_head r) with
+          | Some hl, Some hr when String.equal hl hr ->
+              Some (Printf.sprintf "results of %s on both operands" hl)
+          | _ -> None))
+  | _ -> None
+
 let lint_source config ~file src =
   let findings = ref [] in
   let allow = allow_table src in
@@ -153,7 +209,7 @@ let lint_source config ~file src =
   let check_head txt loc args =
     if config.check_poly && is_poly_compare txt then
       report loc Poly_compare
-        (Printf.sprintf "polymorphic %s on group-element/word data" (lident_to_string txt));
+        (Printf.sprintf "polymorphic %s on structured data" (lident_to_string txt));
     if is_obj_magic txt then report loc Obj_magic "Obj.magic";
     if (not config.allow_print) && is_print txt then
       report loc Print_stdout
@@ -162,7 +218,15 @@ let lint_source config ~file src =
     if is_eq_op txt && List.exists (fun (_, a) -> is_float_literal a) args then
       report loc Float_eq
         (Printf.sprintf "exact float comparison (%s) against a literal"
-           (lident_to_string txt))
+           (lident_to_string txt));
+    if config.check_poly && is_eq_op txt then begin
+      match structural_operands args with
+      | Some what ->
+          report loc Struct_eq
+            (Printf.sprintf "polymorphic ( %s ) comparing %s (likely structural data)"
+               (lident_to_string txt) what)
+      | None -> ()
+    end
   in
   let check_bare txt loc =
     if config.check_poly && is_poly_compare txt then

@@ -5,12 +5,22 @@
 
     - [poly-compare] — unqualified [compare], [Stdlib.compare] or
       [Hashtbl.hash].  Only checked where {!config.check_poly} is set
-      (the driver sets it for [lib/group] and [lib/core], whose values
-      are group elements and words: polymorphic comparison silently
-      diverges from the modules' own [equal]/[compare] on
-      non-canonical representatives).
+      (the driver sets it for [lib/group], [lib/core], [lib/quantum]
+      and [lib/linalg], whose values are group elements, words, states
+      and dimension vectors: polymorphic comparison silently diverges
+      from the modules' own [equal]/[compare] on non-canonical
+      representatives, and walks whole arrays where a typed scalar
+      compare was intended).
     - [poly-eq] — [( = )], [( <> )], [( == )] or [( != )] passed as a
       function value (e.g. [~equal:( = )]).  Same scope as
+      [poly-compare].
+    - [struct-eq] — an applied [=]/[<>] whose two operands project the
+      same shape of data: the same record field on both sides
+      ([a.dims = b.dims]) or the same accessor applied on both sides
+      ([dims a = dims b]).  Matching labels makes the comparison almost
+      certainly structural; use the element type's [equal] (e.g.
+      [Backend.dims_equal]) instead.  Known int-returning stdlib
+      accessors ([Array.length] etc.) are excluded.  Same scope as
       [poly-compare].
     - [float-eq] — [=]/[<>]/[==]/[!=] applied with a float literal
       operand, anywhere: exact float comparison is almost always a
@@ -25,7 +35,7 @@
     [(* hsp-lint: allow <rule> [<rule> ...] *)] (or [allow all]) on
     line [L] or [L-1]. *)
 
-type rule = Poly_compare | Poly_eq | Float_eq | Obj_magic | Print_stdout
+type rule = Poly_compare | Poly_eq | Struct_eq | Float_eq | Obj_magic | Print_stdout
 
 val rule_name : rule -> string
 val rule_of_name : string -> rule option
@@ -38,8 +48,9 @@ type config = {
 }
 
 val config_for_path : string -> config
-(** [check_poly] under [lib/group] and [lib/core]; [allow_print] under
-    [bin/], [bench/], [test/] and [examples/]. *)
+(** [check_poly] under [lib/group], [lib/core], [lib/quantum] and
+    [lib/linalg]; [allow_print] under [bin/], [bench/], [test/] and
+    [examples/]. *)
 
 val lint_source : config -> file:string -> string -> finding list
 (** Parse and lint one compilation unit given as a string.

@@ -4,7 +4,7 @@ type outcome = { rounds : int; characters : int array list }
 
 let solve_dims rng ?backend ?draw ~dims ~f ~quantum ?verify () =
   let verify =
-    match verify with Some v -> v | None -> fun x -> f x = f (Array.make (Array.length dims) 0)
+    match verify with Some v -> v | None -> fun x -> Int.equal (f x) (f (Array.make (Array.length dims) 0))
   in
   (* log2 |A| + slack samples per batch: each sample halves the kernel
      in expectation, so one batch almost always suffices. *)

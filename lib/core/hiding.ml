@@ -12,7 +12,7 @@ let eval t x =
 
 let in_hidden_subgroup g t x =
   ignore g;
-  eval t x = eval t g.Group.id
+  Int.equal (eval t x) (eval t g.Group.id)
 
 let of_fun raw = { raw; classical = ref 0; quantum = Quantum.Query.create () }
 

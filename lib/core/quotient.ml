@@ -4,7 +4,7 @@ let group_mod (g : 'a Group.t) (hiding : 'a Hiding.t) =
   {
     g with
     Group.name = g.Group.name ^ "/hidden";
-    equal = (fun a b -> Hiding.eval hiding a = Hiding.eval hiding b);
+    equal = (fun a b -> Int.equal (Hiding.eval hiding a) (Hiding.eval hiding b));
     repr = (fun a -> string_of_int (Hiding.eval hiding a));
   }
 

@@ -1,6 +1,6 @@
 type elt = { j : int; e : int }
 
-let equal x y = x.j = y.j && x.e = y.e
+let equal x y = Int.equal x.j y.j && Int.equal x.e y.e
 
 (* Multiplication from the normal form a^j b^e:
    b a^j = a^-j b, and b^2 = a^n, hence

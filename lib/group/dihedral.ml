@@ -1,6 +1,6 @@
 type elt = { rot : int; flip : bool }
 
-let equal a b = a.rot = b.rot && Bool.equal a.flip b.flip
+let equal a b = Int.equal a.rot b.rot && Bool.equal a.flip b.flip
 
 (* Presentation: s^n = t^2 = 1, t s t = s^-1.  Elements s^r t^e;
    (s^a t^e1)(s^b t^e2) = s^(a + b or a - b) t^(e1 xor e2). *)

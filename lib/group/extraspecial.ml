@@ -5,7 +5,7 @@ type elt = { a : int array; b : int array; c : int }
 let vec_equal (a : int array) b =
   Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
 
-let equal x y = x.c = y.c && vec_equal x.a y.a && vec_equal x.b y.b
+let equal x y = Int.equal x.c y.c && vec_equal x.a y.a && vec_equal x.b y.b
 
 let dot p a b =
   let s = ref 0 in

@@ -2,7 +2,7 @@ open Numtheory
 
 type elt = { a : int; b : int }
 
-let equal x y = x.a = y.a && x.b = y.b
+let equal x y = Int.equal x.a y.a && Int.equal x.b y.b
 
 let group ~n ~m ~k =
   if n < 1 || m < 1 then invalid_arg "Metacyclic.group: n, m >= 1 required";

@@ -3,7 +3,7 @@ type elt = { v : int array; t : int }
 let vec_equal (a : int array) b =
   Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
 
-let equal x y = x.t = y.t && vec_equal x.v y.v
+let equal x y = Int.equal x.t y.t && vec_equal x.v y.v
 
 let mat_apply a v =
   Array.init (Array.length v) (fun i ->

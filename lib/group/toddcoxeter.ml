@@ -107,7 +107,7 @@ let scan_and_fill st c w =
       else continue_fwd := false
     done;
     if !i = len then begin
-      if find st !f <> find st c then merge st !f c
+      if not (Int.equal (find st !f) (find st c)) then merge st !f c
     end
     else begin
       (* backward *)
@@ -123,7 +123,7 @@ let scan_and_fill st c w =
         else continue_bwd := false
       done;
       if !j = !i then begin
-        if find st !f <> find st !b then merge st !f !b
+        if not (Int.equal (find st !f) (find st !b)) then merge st !f !b
       end
       else if !j = !i + 1 then begin
         set_edge st !f (sym_of_letter w.(!i)) !b;

@@ -3,7 +3,7 @@ type elt = { u : int array; v : int array; s : int }
 let vec_equal (a : int array) b =
   Array.length a = Array.length b && Array.for_all2 (fun (x : int) y -> x = y) a b
 
-let equal x y = x.s = y.s && vec_equal x.u y.u && vec_equal x.v y.v
+let equal x y = Int.equal x.s y.s && vec_equal x.u y.u && vec_equal x.v y.v
 
 let group k =
   if k < 1 then invalid_arg "Wreath.group: k < 1";

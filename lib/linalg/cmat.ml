@@ -28,6 +28,44 @@ let apply m v =
 
 let adjoint m = init (cols m) (rows m) (fun i j -> Cx.conj m.(j).(i))
 
+(* Row-major split-plane copy of the matrix, for the dense backend's
+   unboxed kernels: element (i, j) lives at [i * cols + j]. *)
+let planes m =
+  let r = rows m and c = cols m in
+  let re = Array.make (r * c) 0.0 and im = Array.make (r * c) 0.0 in
+  for i = 0 to r - 1 do
+    let row = m.(i) in
+    for j = 0 to c - 1 do
+      let z = row.(j) in
+      re.((i * c) + j) <- z.Complex.re;
+      im.((i * c) + j) <- z.Complex.im
+    done
+  done;
+  (re, im)
+
+(* y = M x on split planes, no allocation: the inner loop of the dense
+   backend's gather/transform/scatter kernel.  All four vector planes
+   must be distinct from each other (y is written, x only read). *)
+let apply_planes ~rows ~cols ~m_re ~m_im ~x_re ~x_im ~y_re ~y_im =
+  if Array.length m_re <> rows * cols || Array.length m_im <> rows * cols then
+    invalid_arg "Cmat.apply_planes: matrix plane dimension mismatch";
+  if
+    Array.length x_re < cols || Array.length x_im < cols || Array.length y_re < rows
+    || Array.length y_im < rows
+  then invalid_arg "Cmat.apply_planes: vector plane dimension mismatch";
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let mr = Array.unsafe_get m_re (base + j) and mi = Array.unsafe_get m_im (base + j) in
+      let xr = Array.unsafe_get x_re j and xi = Array.unsafe_get x_im j in
+      acc_re := !acc_re +. (mr *. xr) -. (mi *. xi);
+      acc_im := !acc_im +. (mr *. xi) +. (mi *. xr)
+    done;
+    y_re.(i) <- !acc_re;
+    y_im.(i) <- !acc_im
+  done
+
 let kron a b =
   let ra = rows a and ca = cols a and rb = rows b and cb = cols b in
   init (ra * rb) (ca * cb) (fun i j ->
@@ -37,7 +75,8 @@ let scale c m = Array.map (Array.map (Cx.mul c)) m
 let add a b = Array.mapi (fun i row -> Array.mapi (fun j x -> Cx.add x b.(i).(j)) row) a
 
 let approx_equal ?(eps = 1e-9) a b =
-  rows a = rows b && cols a = cols b
+  Int.equal (rows a) (rows b)
+  && Int.equal (cols a) (cols b)
   && begin
        let ok = ref true in
        for i = 0 to rows a - 1 do

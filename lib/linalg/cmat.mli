@@ -13,6 +13,27 @@ val cols : t -> int
 val mul : t -> t -> t
 val apply : t -> Cvec.t -> Cvec.t
 val adjoint : t -> t
+
+val planes : t -> float array * float array
+(** Row-major split-plane copy [(re, im)]: element [(i, j)] of a
+    [rows x cols] matrix lives at index [i * cols + j].  The dense
+    backend precomputes this once per gate application. *)
+
+val apply_planes :
+  rows:int ->
+  cols:int ->
+  m_re:float array ->
+  m_im:float array ->
+  x_re:float array ->
+  x_im:float array ->
+  y_re:float array ->
+  y_im:float array ->
+  unit
+(** [y = M x] on split planes, allocation-free: reads [x_re]/[x_im]
+    (first [cols] entries), writes [y_re]/[y_im] (first [rows]
+    entries).  The output planes must be distinct from the inputs.
+    @raise Invalid_argument on plane dimension mismatch. *)
+
 val kron : t -> t -> t
 (** Kronecker (tensor) product. *)
 

@@ -37,7 +37,7 @@ let rref vectors =
           basis := List.map (fun (q, b) -> if b.(p) = 1 then (q, add b v) else (q, b)) !basis;
           basis := (p, v) :: !basis)
     vectors;
-  List.sort (fun (p, _) (q, _) -> compare p q) !basis |> List.map snd
+  List.sort (fun (p, _) (q, _) -> Int.compare p q) !basis |> List.map snd
 
 let rank vectors = List.length (rref vectors)
 

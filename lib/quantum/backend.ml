@@ -60,6 +60,13 @@ let decode dims idx =
   done;
   x
 
+let dims_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i d -> if d <> b.(i) then ok := false) a;
+  !ok
+
 let strides dims =
   let n = Array.length dims in
   let s = Array.make n 1 in

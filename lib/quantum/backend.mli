@@ -63,6 +63,10 @@ val encode : int array -> int array -> int
 val decode : int array -> int -> int array
 (** Inverse of {!encode}. *)
 
+val dims_equal : int array -> int array -> bool
+(** Typed elementwise equality of dimension vectors (no polymorphic
+    structural compare). *)
+
 val strides : int array -> int array
 (** [strides dims].(i) is the index increment of wire [i]:
     the product of [dims.(j)] for [j > i]. *)

@@ -79,7 +79,7 @@ let prune t =
 
 let of_support ?prune_eps dims entries =
   let t = make_frame ?prune_eps dims in
-  if entries = [] then invalid_arg "State.of_support: empty support";
+  (match entries with [] -> invalid_arg "State.of_support: empty support" | _ :: _ -> ());
   List.iter
     (fun (x, a) ->
       let idx = Backend.encode dims x in
@@ -257,32 +257,47 @@ let measure rng t ~wires =
   let r = Random.State.float rng w in
   let acc = ref 0.0 in
   let chosen = ref None in
+  let last_nonzero = ref None in
   (try
      Hashtbl.iter
        (fun idx z ->
-         acc := !acc +. Cx.norm2 z;
+         let p = Cx.norm2 z in
+         if p > 0.0 then last_nonzero := Some idx;
+         acc := !acc +. p;
          if r < !acc then begin
            chosen := Some idx;
            raise Exit
          end)
        t.tbl
    with Exit -> ());
+  (* Floating-point rounding can leave r >= acc after the full sweep;
+     the fallback must carry mass — an all-zero support (pruning ate
+     everything) is an error, never a silent arbitrary outcome. *)
   let chosen =
-    match !chosen with
-    | Some idx -> idx
-    | None -> Hashtbl.fold (fun idx _ _ -> idx) t.tbl (-1)
+    match (!chosen, !last_nonzero) with
+    | Some idx, _ -> idx
+    | None, Some idx -> idx
+    | None, None -> invalid_arg "State.measure: zero vector"
   in
-  if chosen < 0 then invalid_arg "State.measure: zero vector";
+  let wires_arr = Array.of_list wires in
+  let k = Array.length wires_arr in
   let outcome = Array.of_list (digits_of t ~wires chosen) in
-  let target = Array.to_list outcome in
+  (* Keep entries whose selected digits all equal the outcome, compared
+     digit-by-digit as ints (no polymorphic list equality). *)
+  let matches idx =
+    let ok = ref true in
+    for i = 0 to k - 1 do
+      let w = wires_arr.(i) in
+      if idx / t.str.(w) mod t.dims.(w) <> outcome.(i) then ok := false
+    done;
+    !ok
+  in
   let out = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun idx z -> if digits_of t ~wires idx = target then Hashtbl.replace out idx z)
-    t.tbl;
+  Hashtbl.iter (fun idx z -> if matches idx then Hashtbl.replace out idx z) t.tbl;
   (outcome, noted (normalize { t with tbl = out }))
 
 let approx_equal ?(eps = 1e-9) a b =
-  a.dims = b.dims
+  Backend.dims_equal a.dims b.dims
   && begin
        let ok = ref true in
        Hashtbl.iter (fun idx z -> if not (Cx.approx_equal ~eps z (amp_at b idx)) then ok := false) a.tbl;
@@ -295,7 +310,9 @@ let pp fmt t =
     (String.concat "; " (Array.to_list (Array.map string_of_int t.dims)))
     (Hashtbl.length t.tbl) t.total;
   let entries =
-    List.sort compare (Hashtbl.fold (fun idx z acc -> (idx, z) :: acc) t.tbl [])
+    List.sort
+      (fun (i, _) (j, _) -> Int.compare i j)
+      (Hashtbl.fold (fun idx z acc -> (idx, z) :: acc) t.tbl [])
   in
   List.iter (fun (idx, z) -> Format.fprintf fmt "%d: %a@," idx Cx.pp z) entries;
   Format.fprintf fmt "@]"

@@ -21,7 +21,7 @@ let gate t m wires =
   { t with ops = t.ops @ [ Gate (m, wires) ] }
 
 let seq a b =
-  if a.num_qubits <> b.num_qubits then invalid_arg "Circuit.seq: arity mismatch";
+  if not (Int.equal a.num_qubits b.num_qubits) then invalid_arg "Circuit.seq: arity mismatch";
   { a with ops = a.ops @ b.ops }
 
 let run t state =

@@ -22,67 +22,80 @@ type snapshot = {
   phases : (string * float) list;
 }
 
-let gate_apps = ref 0
-let gate_fibres = ref 0
-let dft_apps = ref 0
-let dft_fibres = ref 0
-let basis_maps = ref 0
-let oracle_ops = ref 0
-let measurements = ref 0
-let states_created = ref 0
-let peak_support = ref 0
-let pruned_amps = ref 0
-let peak_dense_alloc = ref 0
+(* Atomic counters: the dense backend's kernels run on a domain pool
+   (see {!Parallel}), so the ledger must tolerate concurrent ticks.
+   The provided kernels only tick counters outside parallel regions,
+   but atomics make the ledger safe for any backend code and cost
+   nothing measurable at per-operation granularity. *)
+let gate_apps = Atomic.make 0
+let gate_fibres = Atomic.make 0
+let dft_apps = Atomic.make 0
+let dft_fibres = Atomic.make 0
+let basis_maps = Atomic.make 0
+let oracle_ops = Atomic.make 0
+let measurements = Atomic.make 0
+let states_created = Atomic.make 0
+let peak_support = Atomic.make 0
+let pruned_amps = Atomic.make 0
+let peak_dense_alloc = Atomic.make 0
+
+let tick c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+(* Monotone high-water mark via compare-and-set. *)
+let rec raise_to c v =
+  let cur = Atomic.get c in
+  if v > cur && not (Atomic.compare_and_set c cur v) then raise_to c v
 
 (* Accumulated wall-clock seconds per phase name, in first-seen order. *)
 let phase_order : string list ref = ref []
 let phase_seconds : (string, float) Hashtbl.t = Hashtbl.create 8
 
 let reset () =
-  gate_apps := 0;
-  gate_fibres := 0;
-  dft_apps := 0;
-  dft_fibres := 0;
-  basis_maps := 0;
-  oracle_ops := 0;
-  measurements := 0;
-  states_created := 0;
-  peak_support := 0;
-  pruned_amps := 0;
-  peak_dense_alloc := 0;
+  Atomic.set gate_apps 0;
+  Atomic.set gate_fibres 0;
+  Atomic.set dft_apps 0;
+  Atomic.set dft_fibres 0;
+  Atomic.set basis_maps 0;
+  Atomic.set oracle_ops 0;
+  Atomic.set measurements 0;
+  Atomic.set states_created 0;
+  Atomic.set peak_support 0;
+  Atomic.set pruned_amps 0;
+  Atomic.set peak_dense_alloc 0;
   phase_order := [];
   Hashtbl.reset phase_seconds
 
 let snapshot () =
   {
-    gate_apps = !gate_apps;
-    gate_fibres = !gate_fibres;
-    dft_apps = !dft_apps;
-    dft_fibres = !dft_fibres;
-    basis_maps = !basis_maps;
-    oracle_ops = !oracle_ops;
-    measurements = !measurements;
-    states_created = !states_created;
-    peak_support = !peak_support;
-    pruned_amps = !pruned_amps;
-    peak_dense_alloc = !peak_dense_alloc;
+    gate_apps = Atomic.get gate_apps;
+    gate_fibres = Atomic.get gate_fibres;
+    dft_apps = Atomic.get dft_apps;
+    dft_fibres = Atomic.get dft_fibres;
+    basis_maps = Atomic.get basis_maps;
+    oracle_ops = Atomic.get oracle_ops;
+    measurements = Atomic.get measurements;
+    states_created = Atomic.get states_created;
+    peak_support = Atomic.get peak_support;
+    pruned_amps = Atomic.get pruned_amps;
+    peak_dense_alloc = Atomic.get peak_dense_alloc;
     phases =
       List.rev_map
         (fun name -> (name, Option.value ~default:0.0 (Hashtbl.find_opt phase_seconds name)))
         !phase_order;
   }
 
-let record_gate () = incr gate_apps
-let add_gate_fibres n = gate_fibres := !gate_fibres + n
-let record_dft () = incr dft_apps
-let add_dft_fibres n = dft_fibres := !dft_fibres + n
-let record_basis_map () = incr basis_maps
-let record_oracle () = incr oracle_ops
-let record_measurement () = incr measurements
-let record_state_created () = incr states_created
-let record_support s = if s > !peak_support then peak_support := s
-let record_pruned () = incr pruned_amps
-let record_dense_alloc total = if total > !peak_dense_alloc then peak_dense_alloc := total
+let record_gate () = tick gate_apps
+let add_gate_fibres n = add gate_fibres n
+let record_dft () = tick dft_apps
+let add_dft_fibres n = add dft_fibres n
+let record_basis_map () = tick basis_maps
+let record_oracle () = tick oracle_ops
+let record_measurement () = tick measurements
+let record_state_created () = tick states_created
+let record_support s = raise_to peak_support s
+let record_pruned () = tick pruned_amps
+let record_dense_alloc total = raise_to peak_dense_alloc total
 
 (* ------------------------------------------------------------------ *)
 (* Structured trace events                                             *)
@@ -92,7 +105,7 @@ type tracer = string -> (string * string) list -> unit
 
 let tracer : tracer option ref = ref None
 let set_tracer t = tracer := t
-let tracing () = !tracer <> None
+let tracing () = match !tracer with None -> false | Some _ -> true
 let trace event fields = match !tracer with None -> () | Some f -> f event fields
 
 (* ------------------------------------------------------------------ *)

@@ -22,7 +22,11 @@
     The ledger is global and reset per experiment ({!reset}; done by
     [Runner.run] and the CLI).  Counter updates are unconditional — a
     handful of integer increments per {e operation}, not per amplitude —
-    so the overhead is unobservable next to the state-vector work.
+    so the overhead is unobservable next to the state-vector work.  The
+    counters are [Atomic.t], so ticks are safe from any domain (the
+    dense backend runs its kernels on the {!Parallel} pool); peaks are
+    raised with a compare-and-set loop.  Ledger values are therefore
+    independent of the job count.
 
     Optionally, a {!tracer} receives structured trace events (phase
     completions, per-round sampler events); [hsp_cli --trace] installs a

@@ -1,0 +1,228 @@
+(* Persistent domain pool for the dense backend's parallel kernels.
+
+   Design constraints (see DESIGN.md "Parallel execution"):
+
+   - the job count is a session-wide knob (HSP_JOBS / hsp_cli --jobs,
+     default 1) and jobs = 1 must cost nothing: no domains are spawned
+     and every parallel_for degenerates to the plain serial loop;
+   - results must be bit-for-bit identical at every job count.  Work is
+     split into contiguous chunks whose boundaries depend only on the
+     index range (and, for reductions, an explicit ~chunks fixed by the
+     caller independently of the job count); which domain executes a
+     chunk never influences what is computed, and ordered reductions
+     (map_chunks) combine per-chunk results in chunk order;
+   - the pool is persistent: workers are spawned lazily on the first
+     parallel region, parked on a condition variable between regions,
+     and resized only when the job count changes.  A per-kernel
+     Domain.spawn would cost ~100us per call, comparable to an entire
+     small-register kernel. *)
+
+let max_jobs = 64
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 && n <= max_jobs -> n
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "HSP_JOBS: expected an integer in 1..%d, got %S" max_jobs s)
+
+let env_default =
+  lazy (match Sys.getenv_opt "HSP_JOBS" with None -> 1 | Some s -> parse_jobs s)
+
+let current = ref None
+let jobs () = match !current with Some j -> j | None -> Lazy.force env_default
+
+let set_jobs n =
+  if n < 1 || n > max_jobs then
+    invalid_arg (Printf.sprintf "Parallel.set_jobs: expected 1..%d, got %d" max_jobs n);
+  current := Some n
+
+(* ------------------------------------------------------------------ *)
+(* Chunk geometry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunk c of [nchunks] over [lo, hi) is [bound c, bound (c+1)); the
+   split depends only on the range and the chunk count, never on the
+   job count or scheduling. *)
+let chunk_bound ~lo ~hi ~nchunks c = lo + ((hi - lo) * c / nchunks)
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  nchunks : int;
+  run : int -> unit;  (* run chunk [c]; must only write chunk-local or per-chunk data *)
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  pending : int Atomic.t;  (* chunks not yet finished *)
+  mutable failure : exn option;  (* first exception, under the pool mutex *)
+}
+
+type pool = {
+  size : int;  (* worker domains, = jobs - 1 *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;  (* bumped once per posted job *)
+  mutable stopping : bool;
+  mutable busy : bool;  (* a region is in flight (reentrance guard) *)
+  mutable domains : unit Domain.t list;
+}
+
+let the_pool : pool option ref = ref None
+
+(* Claim and run chunks until the job is drained.  Executed by the
+   caller and by every worker; chunk claiming is a single
+   fetch-and-add, so each chunk runs exactly once. *)
+let drain pool job =
+  let continue_ = ref true in
+  while !continue_ do
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c >= job.nchunks then continue_ := false
+    else begin
+      (try job.run c
+       with exn ->
+         Mutex.lock pool.mutex;
+         (match job.failure with None -> job.failure <- Some exn | Some _ -> ());
+         Mutex.unlock pool.mutex);
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        (* last chunk: wake the caller waiting in parallel_run *)
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.work_done;
+        Mutex.unlock pool.mutex
+      end
+    end
+  done
+
+let rec worker_loop pool last_gen =
+  Mutex.lock pool.mutex;
+  while (not pool.stopping) && pool.generation = last_gen do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if pool.stopping then Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let job = pool.job in
+    Mutex.unlock pool.mutex;
+    (* A stale job (already drained while we were waking up) is safe:
+       every chunk claim past nchunks is a no-op. *)
+    (match job with None -> () | Some j -> drain pool j);
+    worker_loop pool gen
+  end
+
+let create_pool size =
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stopping = false;
+      busy = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let shutdown_pool pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains
+
+let () = at_exit (fun () -> match !the_pool with None -> () | Some p -> shutdown_pool p)
+
+(* The pool matching the current job count, (re)spawned lazily.  Only
+   ever called from the orchestrating domain, so no lock is needed
+   around the swap. *)
+let get_pool () =
+  let want = jobs () - 1 in
+  match !the_pool with
+  | Some p when p.size = want -> p
+  | prev ->
+      (match prev with None -> () | Some p -> shutdown_pool p);
+      let p = create_pool want in
+      the_pool := Some p;
+      p
+
+let run_serial ~lo ~hi ~nchunks body =
+  for c = 0 to nchunks - 1 do
+    let clo = chunk_bound ~lo ~hi ~nchunks c and chi = chunk_bound ~lo ~hi ~nchunks (c + 1) in
+    if chi > clo then body c clo chi
+  done
+
+(* Run [body c clo chi] for every chunk, on the pool when it helps. *)
+let run_chunked ?chunks lo hi body =
+  if hi > lo then begin
+    let j = jobs () in
+    let nchunks =
+      match chunks with
+      | Some c ->
+          if c < 1 then invalid_arg "Parallel: chunks < 1";
+          min c (hi - lo)
+      | None -> min (hi - lo) (if j = 1 then 1 else 4 * j)
+    in
+    if j = 1 || nchunks = 1 then run_serial ~lo ~hi ~nchunks body
+    else begin
+      let pool = get_pool () in
+      let reentrant = pool.busy in
+      if reentrant then
+        (* a kernel nested inside another parallel region: run it
+           serially rather than deadlock on the shared pool *)
+        run_serial ~lo ~hi ~nchunks body
+      else begin
+        pool.busy <- true;
+        let job =
+          {
+            nchunks;
+            run =
+              (fun c ->
+                let clo = chunk_bound ~lo ~hi ~nchunks c
+                and chi = chunk_bound ~lo ~hi ~nchunks (c + 1) in
+                if chi > clo then body c clo chi);
+            next = Atomic.make 0;
+            pending = Atomic.make nchunks;
+            failure = None;
+          }
+        in
+        Mutex.lock pool.mutex;
+        pool.job <- Some job;
+        pool.generation <- pool.generation + 1;
+        Condition.broadcast pool.work_ready;
+        Mutex.unlock pool.mutex;
+        drain pool job;
+        Mutex.lock pool.mutex;
+        while Atomic.get job.pending > 0 do
+          Condition.wait pool.work_done pool.mutex
+        done;
+        pool.job <- None;
+        Mutex.unlock pool.mutex;
+        pool.busy <- false;
+        match job.failure with None -> () | Some exn -> raise exn
+      end
+    end
+  end
+
+let parallel_for ?chunks lo hi body = run_chunked ?chunks lo hi (fun _ clo chi -> body clo chi)
+
+let map_chunks ~chunks lo hi body =
+  if hi <= lo then [||]
+  else begin
+    if chunks < 1 then invalid_arg "Parallel.map_chunks: chunks < 1";
+    let nchunks = min chunks (hi - lo) in
+    let results = Array.make nchunks None in
+    run_chunked ~chunks:nchunks lo hi (fun c clo chi -> results.(c) <- Some (body clo chi));
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let reduction_chunks ?(max_chunks = 64) ~slot_words total =
+  (* Fixed by the workload geometry alone (never by the job count), so
+     ordered reductions are schedule-invariant; capped so the per-chunk
+     partial buffers stay within ~8M words (64 MB) total. *)
+  let by_mem = max 1 ((1 lsl 23) / max 1 slot_words) in
+  max 1 (min (min max_chunks by_mem) total)

@@ -1,0 +1,52 @@
+(** Persistent domain pool behind the dense backend's parallel kernels.
+
+    The pool holds [jobs () - 1] worker domains (the orchestrating
+    domain is the remaining participant), spawned lazily on the first
+    parallel region, parked between regions, and resized when the job
+    count changes.  With the default [jobs () = 1] no domain is ever
+    spawned and every entry point degenerates to the plain serial loop.
+
+    {b Determinism contract.}  Work is split into contiguous chunks
+    whose boundaries depend only on the index range and the chunk
+    count — never on the job count or on scheduling.  A kernel whose
+    chunks write disjoint output indices is therefore bit-for-bit
+    identical at every job count; ordered reductions get the same
+    guarantee by fixing [~chunks] from the workload geometry (see
+    {!reduction_chunks}) and combining per-chunk results in chunk order
+    ({!map_chunks}).  The equivalence suite ([test_parallel.ml])
+    enforces this against the [jobs = 1] run.
+
+    The job count defaults to the [HSP_JOBS] environment variable
+    (falling back to 1); [hsp_cli --jobs] overrides it via
+    {!set_jobs}. *)
+
+val max_jobs : int
+
+val jobs : unit -> int
+(** The session-wide job count: {!set_jobs} if called, else [HSP_JOBS],
+    else 1. *)
+
+val set_jobs : int -> unit
+(** @raise Invalid_argument outside [1 .. max_jobs]. *)
+
+val parallel_for : ?chunks:int -> int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for lo hi body] runs [body clo chi] over contiguous
+    chunks covering [\[lo, hi)].  [body] must touch only data indexed
+    by its own range (plus read-only shared state); under that contract
+    the result is independent of the job count.  [?chunks] pins the
+    chunk count (clamped to the range length); the default is a small
+    multiple of the job count, which is only safe for bodies whose
+    output does not depend on chunk boundaries (elementwise kernels). *)
+
+val map_chunks : chunks:int -> int -> int -> (int -> int -> 'a) -> 'a array
+(** [map_chunks ~chunks lo hi body] runs [body clo chi] per chunk and
+    returns the per-chunk results {e in chunk order}, for ordered
+    (hence schedule-invariant) reductions.  Pass a [~chunks] that does
+    not depend on the job count — see {!reduction_chunks}. *)
+
+val reduction_chunks : ?max_chunks:int -> slot_words:int -> int -> int
+(** [reduction_chunks ~slot_words total] is a chunk count for reducing
+    over [total] indices with a per-chunk partial buffer of
+    [slot_words] words: fixed by the workload geometry alone (never the
+    job count), capped at [?max_chunks] (default 64) and by a bound on
+    total partial-buffer memory. *)

@@ -39,8 +39,9 @@ let sample_round ?backend rng q tags queries =
   outcome.(0)
 
 let verified_period f r =
-  r >= 1 && f r = f 0
-  && List.for_all (fun p -> f (r / p) <> f 0) (Primes.prime_divisors r)
+  r >= 1
+  && Int.equal (f r) (f 0)
+  && List.for_all (fun p -> not (Int.equal (f (r / p)) (f 0))) (Primes.prime_divisors r)
 
 let period_finding ?backend rng ~f ~period_bound ~queries ~max_rounds =
   if period_bound < 1 then invalid_arg "Shor.period_finding: bound < 1";

@@ -145,7 +145,7 @@ let measure_all rng t =
 let norm = function Dense d -> Backend_dense.norm d | Sparse s -> Backend_sparse.norm s
 
 let approx_equal ?(eps = 1e-9) a b =
-  dims a = dims b
+  Backend.dims_equal (dims a) (dims b)
   &&
   match (a, b) with
   | Dense x, Dense y -> Backend_dense.approx_equal ~eps x y

@@ -279,7 +279,11 @@ let test_lint_config_for_path () =
   let c = Lint.config_for_path "lib/core/runner.ml" in
   checkb "core: poly on" true c.Lint.check_poly;
   let c = Lint.config_for_path "lib/linalg/cmat.ml" in
-  checkb "linalg: poly off" false c.Lint.check_poly;
+  checkb "linalg: poly on" true c.Lint.check_poly;
+  let c = Lint.config_for_path "lib/quantum/backend_dense.ml" in
+  checkb "quantum: poly on" true c.Lint.check_poly;
+  let c = Lint.config_for_path "lib/numtheory/gf2.ml" in
+  checkb "numtheory: poly off" false c.Lint.check_poly;
   let c = Lint.config_for_path "bench/main.ml" in
   checkb "bench: print ok" true c.Lint.allow_print
 
@@ -289,7 +293,10 @@ let test_lint_rule_names_roundtrip () =
       match Lint.rule_of_name (Lint.rule_name r) with
       | Some r' -> checkb "roundtrip" true (r = r')
       | None -> Alcotest.failf "rule name %s does not parse" (Lint.rule_name r))
-    [ Lint.Poly_compare; Lint.Poly_eq; Lint.Float_eq; Lint.Obj_magic; Lint.Print_stdout ]
+    [
+      Lint.Poly_compare; Lint.Poly_eq; Lint.Struct_eq; Lint.Float_eq; Lint.Obj_magic;
+      Lint.Print_stdout;
+    ]
 
 let () =
   Alcotest.run "analysis"

@@ -1,0 +1,297 @@
+(* Determinism suite for the parallel dense backend.
+
+   The contract under test (DESIGN.md "Parallel execution"): the dense
+   backend's results are bit-for-bit identical at every job count —
+   same amplitudes (exact float equality, not a tolerance), same
+   measurement transcripts, same cost-ledger values — because chunk
+   boundaries and reduction orders are fixed by the workload geometry,
+   never by the scheduler.  The sparse backend provides an independent
+   cross-check at 1e-9. *)
+
+open Quantum
+open Linalg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel primitive unit tests                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_jobs j f =
+  Parallel.set_jobs j;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs 1) f
+
+let test_parallel_for_covers () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          let n = 1000 in
+          let seen = Array.make n 0 in
+          Parallel.parallel_for 0 n (fun lo hi ->
+              for i = lo to hi - 1 do
+                seen.(i) <- seen.(i) + 1
+              done);
+          Array.iteri (fun i c -> checki (Printf.sprintf "jobs=%d index %d" j i) 1 c) seen))
+    [ 1; 2; 4 ]
+
+let test_map_chunks_order () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          (* chunk c covers [bound c, bound (c+1)); returning lo shows
+             the results array is in chunk order, not completion order *)
+          let bounds = Parallel.map_chunks ~chunks:7 0 100 (fun lo _ -> lo) in
+          let sorted = Array.copy bounds in
+          Array.sort Int.compare sorted;
+          checkb (Printf.sprintf "jobs=%d chunk order" j) true (bounds = sorted)))
+    [ 1; 3 ]
+
+let test_exception_propagates () =
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          Alcotest.check_raises "body exception resurfaces"
+            (Invalid_argument "boom") (fun () ->
+              Parallel.parallel_for 0 100 (fun lo _ ->
+                  if lo >= 0 then invalid_arg "boom"))))
+    [ 1; 4 ]
+
+let test_set_jobs_validation () =
+  Alcotest.check_raises "jobs 0 rejected"
+    (Invalid_argument "Parallel.set_jobs: expected 1..64, got 0") (fun () ->
+      Parallel.set_jobs 0);
+  Alcotest.check_raises "jobs 65 rejected"
+    (Invalid_argument "Parallel.set_jobs: expected 1..64, got 65") (fun () ->
+      Parallel.set_jobs 65)
+
+let test_reduction_chunks_geometry () =
+  (* depends only on (slot_words, total): never on the job count *)
+  let baseline = Parallel.reduction_chunks ~slot_words:1 100_000 in
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          checki
+            (Printf.sprintf "jobs=%d same chunk count" j)
+            baseline
+            (Parallel.reduction_chunks ~slot_words:1 100_000)))
+    [ 1; 2; 4 ];
+  checki "tiny range" 3 (Parallel.reduction_chunks ~slot_words:1 3);
+  (* memory cap: huge slots force few chunks *)
+  checki "memory-capped" 1 (Parallel.reduction_chunks ~slot_words:(1 lsl 25) 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Random circuit machinery (mirrors test_backends.ml)                *)
+(* ------------------------------------------------------------------ *)
+
+let random_unitary rng d =
+  let pick () =
+    match Random.State.int rng 3 with
+    | 0 -> Cmat.dft d
+    | 1 ->
+        Cmat.init d d (fun i j ->
+            if i = j then Cx.polar 1.0 (Random.State.float rng 6.28318) else Cx.zero)
+    | _ ->
+        let shift = Random.State.int rng d in
+        Cmat.permutation d (fun k -> (k + shift) mod d)
+  in
+  let m = ref (pick ()) in
+  for _ = 1 to 2 do
+    m := Cmat.mul (pick ()) !m
+  done;
+  !m
+
+type op =
+  | Wire_unitary of int * Cmat.t
+  | Dft of int * bool
+  | Shift_map of int array
+  | Oracle_add of int list * int
+
+let random_op rng dims =
+  let n = Array.length dims in
+  match Random.State.int rng 4 with
+  | 0 ->
+      let w = Random.State.int rng n in
+      Wire_unitary (w, random_unitary rng dims.(w))
+  | 1 -> Dft (Random.State.int rng n, Random.State.bool rng)
+  | 2 -> Shift_map (Array.map (fun d -> Random.State.int rng d) dims)
+  | _ ->
+      let out = Random.State.int rng n in
+      let ins =
+        List.filter (fun w -> w <> out && Random.State.bool rng) (List.init n (fun i -> i))
+      in
+      Oracle_add (ins, out)
+
+let apply_op dims st = function
+  | Wire_unitary (w, m) -> State.apply_wire st ~wire:w m
+  | Dft (w, inv) -> State.apply_dft st ~wire:w ~inverse:inv
+  | Shift_map c ->
+      State.apply_basis_map st (fun x -> Array.mapi (fun i xi -> (xi + c.(i)) mod dims.(i)) x)
+  | Oracle_add (ins, out) ->
+      State.apply_oracle_add st ~in_wires:ins ~out_wire:out ~f:(fun x ->
+          Array.fold_left (fun acc v -> (3 * acc) + v + 1) 0 x mod dims.(out))
+
+let random_entries rng dims =
+  let k = 1 + Random.State.int rng 6 in
+  List.init k (fun _ ->
+      ( Array.map (fun d -> Random.State.int rng d) dims,
+        Cx.make (Random.State.float rng 2.0 -. 1.0) (Random.State.float rng 2.0 -. 1.0) ))
+
+(* One deterministic circuit instance derived from a seed: initial
+   support plus an op list, replayable at any job count. *)
+let circuit_of_seed seed =
+  let rng = Random.State.make [| seed; 0x9a11e1 |] in
+  let n = 1 + Random.State.int rng 3 in
+  let dims = Array.init n (fun _ -> 2 + Random.State.int rng 4) in
+  let entries = random_entries rng dims in
+  let ops = List.init 6 (fun _ -> random_op rng dims) in
+  (dims, entries, ops)
+
+let run_dense ~jobs (dims, entries, ops) =
+  with_jobs jobs (fun () ->
+      let st = ref (State.of_sparse ~backend:Backend.Dense dims entries) in
+      List.iter (fun op -> st := apply_op dims !st op) ops;
+      !st)
+
+let run_sparse (dims, entries, ops) =
+  let st = ref (State.of_sparse ~backend:Backend.Sparse dims entries) in
+  List.iter (fun op -> st := apply_op dims !st op) ops;
+  !st
+
+(* Exact (bitwise) amplitude equality — the determinism contract is
+   stronger than approx_equal. *)
+let identical a b =
+  let va = State.amplitudes a and vb = State.amplitudes b in
+  Cvec.dim va = Cvec.dim vb
+  &&
+  let ok = ref true in
+  for i = 0 to Cvec.dim va - 1 do
+    let x = va.(i) and y = vb.(i) in
+    if
+      not
+        (Int64.equal (Int64.bits_of_float x.Complex.re) (Int64.bits_of_float y.Complex.re)
+        && Int64.equal (Int64.bits_of_float x.Complex.im) (Int64.bits_of_float y.Complex.im))
+    then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~count:40 ~name:"dense jobs=2 bit-identical to jobs=1" (int_bound 100000)
+      (fun seed ->
+        let c = circuit_of_seed seed in
+        identical (run_dense ~jobs:1 c) (run_dense ~jobs:2 c));
+    Test.make ~count:40 ~name:"dense jobs=4 bit-identical to jobs=1" (int_bound 100000)
+      (fun seed ->
+        let c = circuit_of_seed seed in
+        identical (run_dense ~jobs:1 c) (run_dense ~jobs:4 c));
+    Test.make ~count:40 ~name:"parallel dense agrees with sparse" (int_bound 100000)
+      (fun seed ->
+        let c = circuit_of_seed seed in
+        State.approx_equal ~eps:1e-9 (run_dense ~jobs:4 c) (run_sparse c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ledger and transcript determinism                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The int counters of a snapshot (everything except phase timings,
+   which are wall-clock and legitimately vary). *)
+let counters (s : Metrics.snapshot) =
+  [
+    s.gate_apps; s.gate_fibres; s.dft_apps; s.dft_fibres; s.basis_maps; s.oracle_ops;
+    s.measurements; s.states_created; s.peak_support; s.pruned_amps; s.peak_dense_alloc;
+  ]
+
+let test_ledger_equal_across_jobs () =
+  let c = circuit_of_seed 0xced9e5 in
+  let ledger jobs =
+    Metrics.reset ();
+    ignore (run_dense ~jobs c);
+    counters (Metrics.snapshot ())
+  in
+  let base = ledger 1 in
+  List.iter
+    (fun j ->
+      checkb (Printf.sprintf "ledger at jobs=%d matches jobs=1" j) true
+        (List.for_all2 Int.equal base (ledger j)))
+    [ 2; 4 ]
+
+(* Same seed + same job count => same measurement transcript; and the
+   transcript is also independent of the job count, because the
+   probability vectors fed to the sampler are bit-identical. *)
+let transcript ~jobs seed =
+  with_jobs jobs (fun () ->
+      let dims, entries, ops = circuit_of_seed seed in
+      let rng = Random.State.make [| seed; 0x7ea5 |] in
+      let st = ref (State.of_sparse ~backend:Backend.Dense dims entries) in
+      List.iter (fun op -> st := apply_op dims !st op) ops;
+      let out = ref [] in
+      for _ = 1 to 4 do
+        let wire = Random.State.int rng (Array.length dims) in
+        let outcome, post = State.measure rng !st ~wires:[ wire ] in
+        st := post;
+        out := outcome.(0) :: !out
+      done;
+      List.rev !out)
+
+let test_measurement_transcript_determinism () =
+  List.iter
+    (fun seed ->
+      let base = transcript ~jobs:1 seed in
+      checkb "same seed+jobs reproduces" true
+        (List.for_all2 Int.equal base (transcript ~jobs:1 seed));
+      List.iter
+        (fun j ->
+          checkb (Printf.sprintf "transcript at jobs=%d matches jobs=1" j) true
+            (List.for_all2 Int.equal base (transcript ~jobs:j seed)))
+        [ 2; 4 ])
+    [ 1; 42; 0xbeef ]
+
+let test_probabilities_bit_identical () =
+  let dims = [| 6; 5; 4 |] in
+  let entries =
+    let rng = Random.State.make [| 0x9e0 |] in
+    random_entries rng dims
+  in
+  let st = State.of_sparse ~backend:Backend.Dense dims entries in
+  let st = State.apply_dft st ~wire:0 ~inverse:false in
+  let probs jobs = with_jobs jobs (fun () -> State.probabilities st ~wires:[ 0; 2 ]) in
+  let base = probs 1 in
+  List.iter
+    (fun j ->
+      let p = probs j in
+      checkb
+        (Printf.sprintf "probabilities at jobs=%d bit-identical" j)
+        true
+        (Array.for_all2
+           (fun (a : float) b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           base p))
+    [ 2; 3; 4 ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "parallel_for covers range once" `Quick test_parallel_for_covers;
+          Alcotest.test_case "map_chunks in chunk order" `Quick test_map_chunks_order;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "set_jobs validation" `Quick test_set_jobs_validation;
+          Alcotest.test_case "reduction chunk geometry" `Quick test_reduction_chunks_geometry;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "determinism",
+        [
+          Alcotest.test_case "ledger equal across jobs" `Quick test_ledger_equal_across_jobs;
+          Alcotest.test_case "measurement transcripts" `Quick
+            test_measurement_transcript_determinism;
+          Alcotest.test_case "probabilities bit-identical" `Quick
+            test_probabilities_bit_identical;
+        ] );
+    ]
