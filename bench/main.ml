@@ -801,6 +801,145 @@ let e11 () =
       Digest.string (Buffer.contents buf))
 
 (* ------------------------------------------------------------------ *)
+(* E12: sparse coset sampling — shared O(|G|) prep, O(|coset|) rounds *)
+(* ------------------------------------------------------------------ *)
+
+(* The sorted-segment sparse backend on a 2^20..2^26 instance ladder at
+   jobs = 1, 2 and 4, against the retained hashtable backend
+   ([Quantum.Backend_htbl]) re-running the pre-segment recipe: one
+   O(|G|) support scan per sample.  The prep column is the segment
+   sampler's one-time oracle bucketing pass (first draw; sampler_preps
+   stays at 1 however many rounds follow); sec is the remaining rounds,
+   the per-sample O(|coset|) regime that the jobs column can scale.
+   As in E11, ok asserts the determinism contract — digest AND ledger
+   equal to the jobs=1 baseline — and any divergence fails the run.
+   The htbl row's speedup cell is htbl seconds over the segment
+   backend's jobs=1 total (prep included): the single-thread gain of
+   bucketing once instead of scanning every round. *)
+let e12 () =
+  header
+    "E12: sparse coset sampling ladder — O(|G|) prep shared across rounds, bit-identical at every job count"
+    [ fmt_s "dims"; fmt_s "|G|"; fmt_s "backend"; fmt_s "jobs"; fmt_s "support";
+      fmt_s "compact"; fmt_s "visits"; fmt_s "digest"; fmt_s "ok"; fmt_s "prep";
+      fmt_s "speedup"; fmt_s "sec" ];
+  let counters (m : Quantum.Metrics.snapshot) =
+    [ m.Quantum.Metrics.gate_apps; m.Quantum.Metrics.gate_fibres; m.Quantum.Metrics.dft_apps;
+      m.Quantum.Metrics.dft_fibres; m.Quantum.Metrics.basis_maps; m.Quantum.Metrics.oracle_ops;
+      m.Quantum.Metrics.measurements; m.Quantum.Metrics.states_created;
+      m.Quantum.Metrics.peak_support; m.Quantum.Metrics.pruned_amps;
+      m.Quantum.Metrics.compactions; m.Quantum.Metrics.sampler_preps;
+      m.Quantum.Metrics.coset_visits ]
+  in
+  let show dims = String.concat "x" (List.map string_of_int (Array.to_list dims)) in
+  let add_outcome buf o =
+    Array.iter
+      (fun v ->
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ',')
+      o
+  in
+  List.iter
+    (fun (dims, moduli, rounds) ->
+      let total = Array.fold_left ( * ) 1 dims in
+      let f x =
+        Quantum.Backend.encode moduli (Array.map2 (fun xi m -> xi mod m) x moduli)
+      in
+      let results =
+        List.map
+          (fun jobs ->
+            Quantum.Parallel.set_jobs jobs;
+            Quantum.Metrics.reset ();
+            let rng = Random.State.make [| 0xe12 |] in
+            let queries = Quantum.Query.create () in
+            let draw =
+              Quantum.Coset_state.sampler ~backend:Quantum.Backend.Sparse ~dims ~f
+                ~queries ()
+            in
+            let buf = Buffer.create 256 in
+            (* the first draw pays the shared bucketing pass *)
+            let first, prep_sec = time_it (fun () -> draw rng) in
+            add_outcome buf first;
+            let (), sec =
+              time_it (fun () ->
+                  for _ = 1 to rounds do
+                    add_outcome buf (draw rng)
+                  done)
+            in
+            let digest = Digest.string (Buffer.contents buf) in
+            let m = Quantum.Metrics.snapshot () in
+            (jobs, digest, counters m, m, prep_sec, sec))
+          [ 1; 2; 4 ]
+      in
+      Quantum.Parallel.set_jobs 1;
+      match results with
+      | [] -> ()
+      | (_, base_digest, base_counters, _, base_prep, base_sec) :: _ ->
+          List.iter
+            (fun (jobs, digest, cs, m, prep_sec, sec) ->
+              let ok =
+                String.equal digest base_digest && List.for_all2 Int.equal cs base_counters
+              in
+              if not ok then begin
+                incr claim_violations;
+                Printf.printf "claim violation: E12 %s at jobs=%d diverges from the jobs=1 run\n"
+                  (show dims) jobs
+              end;
+              row
+                [ fmt_s (show dims); fmt_i total; fmt_s "segment"; fmt_i jobs;
+                  fmt_i m.Quantum.Metrics.peak_support; fmt_i m.Quantum.Metrics.compactions;
+                  fmt_i m.Quantum.Metrics.coset_visits;
+                  fmt_s (String.sub (Digest.to_hex digest) 0 8); fmt_s (string_of_bool ok);
+                  fmt_f prep_sec; fmt_f (base_sec /. Float.max 1e-9 sec); fmt_f sec ])
+            results;
+          (* hashtable baseline on the 2^22 rung: the pre-segment
+             sampler's per-round O(|G|) support scan, serial and boxed *)
+          if total = 1 lsl 22 then begin
+            let wires = List.init (Array.length dims) (fun i -> i) in
+            let peak = ref 0 in
+            let htbl_round rng =
+              let x0 = Random.State.int rng total in
+              let t0 = f (Quantum.Backend.decode dims x0) in
+              let support = ref [] in
+              for idx = total - 1 downto 0 do
+                let x = Quantum.Backend.decode dims idx in
+                if Int.equal (f x) t0 then support := x :: !support
+              done;
+              let count = List.length !support in
+              if count > !peak then peak := count;
+              let amp = Linalg.Cx.re (1.0 /. sqrt (float_of_int count)) in
+              let st =
+                ref
+                  (Quantum.Backend_htbl.of_support dims
+                     (List.map (fun x -> (x, amp)) !support))
+              in
+              List.iter
+                (fun w -> st := Quantum.Backend_htbl.apply_dft !st ~wire:w ~inverse:false)
+                wires;
+              fst (Quantum.Backend_htbl.measure rng !st ~wires)
+            in
+            let rng = Random.State.make [| 0xe12 |] in
+            let buf = Buffer.create 256 in
+            let (), sec =
+              time_it (fun () ->
+                  for _ = 0 to rounds do
+                    add_outcome buf (htbl_round rng)
+                  done)
+            in
+            let digest = Digest.string (Buffer.contents buf) in
+            row
+              [ fmt_s (show dims); fmt_i total; fmt_s "htbl"; fmt_i 1; fmt_i !peak;
+                fmt_s "-"; fmt_s "-"; fmt_s (String.sub (Digest.to_hex digest) 0 8);
+                fmt_s "-"; fmt_s "-";
+                fmt_f (sec /. Float.max 1e-9 (base_prep +. base_sec)); fmt_f sec ]
+          end)
+    [
+      ([| 1024; 1024 |], [| 16; 16 |], 6);
+      ([| 2048; 2048 |], [| 16; 16 |], 4);
+      ([| 4096; 4096 |], [| 32; 32 |], 3);
+      ([| 8192; 8192 |], [| 64; 64 |], 2);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: one small instance per theorem — the CI gate.  Fast, runs   *)
 (* through Runner so each row carries the ok verdict and the ledger;  *)
 (* CI fails the build if any ok cell is false.                        *)
@@ -958,7 +1097,7 @@ let micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11) ] in
+  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12) ] in
   Printf.printf "HSP benchmark harness — reproduces EXPERIMENTS.md (seed fixed)\n";
   (match args with
   | [] ->

@@ -37,7 +37,7 @@ let backend_arg =
         fun fmt c -> Format.pp_print_string fmt (Quantum.Backend.choice_to_string c) )
   in
   let doc =
-    "State-vector simulation backend: $(b,dense) (exact array, capped at 2^24 amplitudes),      $(b,sparse) (hashtable of nonzero amplitudes, no cap) or $(b,auto) (dense when the      register fits, sparse beyond).  Defaults to the $(b,HSP_BACKEND) environment variable,      then $(b,auto)."
+    "State-vector simulation backend: $(b,dense) (exact array, capped at 2^24 amplitudes),      $(b,sparse) (sorted segment of nonzero amplitudes, scales to 2^26 coset sampling and      beyond) or $(b,auto) (dense when the register fits, sparse beyond).  Defaults to the      $(b,HSP_BACKEND) environment variable, then $(b,auto)."
   in
   Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~doc)
 

@@ -195,6 +195,35 @@ let structural_operands args =
           | _ -> None))
   | _ -> None
 
+(* The int-array-element heuristic: an applied [=]/[<>] with an
+   [a.(i)]-style element access on one side and a plain scalar
+   expression (identifier, record field, or another element access) on
+   the other.  In the directories under poly checking such arrays are
+   int arrays in hot loops (oracle tags, sort permutations, index
+   segments), where polymorphic equality is both an out-of-line call
+   and a pitfall — the element type's equality ([Int.equal]) says what
+   is meant and compiles to a compare instruction.  Literal operands
+   are excluded ([tuple.(1) = 1] is monomorphised on the spot), as are
+   compound expressions (too likely to be arithmetic the other rules
+   already cover). *)
+let is_array_get (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _ :: _) ->
+      List.mem (lident_to_string txt)
+        [ "Array.get"; "Array.unsafe_get"; "Stdlib.Array.get"; "Stdlib.Array.unsafe_get" ]
+  | _ -> false
+
+let is_plain_scalar (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_ident _ | Pexp_field _ -> true
+  | _ -> is_array_get e
+
+let array_element_operands args =
+  match args with
+  | [ (_, l); (_, r) ] ->
+      (is_array_get l && is_plain_scalar r) || (is_array_get r && is_plain_scalar l)
+  | _ -> false
+
 let lint_source config ~file src =
   let findings = ref [] in
   let allow = allow_table src in
@@ -225,7 +254,13 @@ let lint_source config ~file src =
           report loc Struct_eq
             (Printf.sprintf "polymorphic ( %s ) comparing %s (likely structural data)"
                (lident_to_string txt) what)
-      | None -> ()
+      | None ->
+          if array_element_operands args then
+            report loc Poly_compare
+              (Printf.sprintf
+                 "polymorphic ( %s ) on an array element (use the element type's equal, e.g. \
+                  Int.equal)"
+                 (lident_to_string txt))
     end
   in
   let check_bare txt loc =

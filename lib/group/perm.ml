@@ -50,7 +50,7 @@ let to_cycles p =
   let seen = Array.make n false in
   let cycles = ref [] in
   for i = 0 to n - 1 do
-    if (not seen.(i)) && p.(i) <> i then begin
+    if (not seen.(i)) && not (Int.equal p.(i) i) then begin
       let cycle = ref [ i ] in
       seen.(i) <- true;
       let j = ref p.(i) in

@@ -27,7 +27,7 @@ let create ~ngens ~max_cosets =
   }
 
 let rec find st c =
-  if st.parent.(c) = c then c
+  if Int.equal st.parent.(c) c then c
   else begin
     let r = find st st.parent.(c) in
     st.parent.(c) <- r;

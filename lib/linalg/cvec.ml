@@ -25,9 +25,16 @@ let dot a b =
 let norm2 v = Array.fold_left (fun acc z -> acc +. Cx.norm2 z) 0.0 v
 let norm v = sqrt (norm2 v)
 
+(* Shared normalisation tolerances — the single definition used by
+   every normalise entry point (here and in the simulator backends), so
+   "what counts as a zero vector" and "close enough to unit norm to
+   skip rescaling" cannot drift apart between representations. *)
+let zero_norm_floor = 1e-150
+let unit_norm_tol = 1e-15
+
 let normalize v =
   let n = norm v in
-  if n < 1e-150 then invalid_arg "Cvec.normalize: zero vector";
+  if n < zero_norm_floor then invalid_arg "Cvec.normalize: zero vector";
   Array.map (Cx.scale (1.0 /. n)) v
 
 (* ------------------------------------------------------------------ *)
@@ -69,7 +76,7 @@ let normalize_planes ~re ~im =
   let n = Array.length re in
   if Array.length im <> n then invalid_arg "Cvec.normalize_planes: plane length mismatch";
   let nrm = sqrt (norm2_planes ~re ~im ~lo:0 ~hi:n) in
-  if nrm < 1e-150 then invalid_arg "Cvec.normalize: zero vector";
+  if nrm < zero_norm_floor then invalid_arg "Cvec.normalize: zero vector";
   scale_planes (1.0 /. nrm) ~re ~im ~lo:0 ~hi:n
 
 let approx_equal ?(eps = 1e-9) a b =

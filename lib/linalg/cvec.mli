@@ -23,6 +23,17 @@ val norm : t -> float
 val normalize : t -> t
 (** @raise Invalid_argument on the zero vector. *)
 
+val zero_norm_floor : float
+(** Norms below this are treated as an (unnormalisable) zero vector by
+    every normalise entry point — here and in the simulator backends.
+    Far below any amplitude a simulation produces; it only guards
+    against dividing by a true zero. *)
+
+val unit_norm_tol : float
+(** A norm within this distance of [1.0] is close enough to unit that
+    rescaling would only inject rounding noise; normalisation
+    fast-paths may skip the scale. *)
+
 val approx_equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit
 

@@ -64,7 +64,7 @@ let dims_equal a b =
   Array.length a = Array.length b
   &&
   let ok = ref true in
-  Array.iteri (fun i d -> if d <> b.(i) then ok := false) a;
+  Array.iteri (fun i d -> if not (Int.equal d b.(i)) then ok := false) a;
   !ok
 
 let strides dims =

@@ -7,12 +7,13 @@
     - {!Backend_dense} — one contiguous complex array of dimension
       [prod dims].  Exact, cache-friendly, and the reference
       implementation; capped at {!dense_cap} amplitudes.
-    - {!Backend_sparse} — a hashtable of the nonzero amplitudes only.
-      Every operation costs time proportional to the support size (times
-      the local fibre dimension), not the total dimension, so registers
-      far beyond {!dense_cap} are simulable whenever the states that
-      actually arise (coset states [|xH>], subgroup states [|H>], their
-      partial Fourier transforms) stay sparse.
+    - {!Backend_sparse} — a sorted segment (flat index/re/im arrays) of
+      the nonzero amplitudes only.  Every operation costs time
+      proportional to the support size (times the local fibre
+      dimension), not the total dimension, so registers far beyond
+      {!dense_cap} are simulable whenever the states that actually
+      arise (coset states [|xH>], subgroup states [|H>], their partial
+      Fourier transforms) stay sparse.
 
     The backend is chosen per state at creation time: explicitly via the
     [?backend] argument of {!State.create} and friends, globally via

@@ -55,6 +55,22 @@ let of_support dims entries =
   Cvec.normalize_planes ~re ~im;
   { dims = Array.copy dims; re; im }
 
+let of_indices dims idxs =
+  let total = total_of dims in
+  let n = Array.length idxs in
+  if n = 0 then invalid_arg "State.of_indices: empty support";
+  let prev = ref (-1) in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= total then invalid_arg "State.of_indices: index out of range";
+      if i <= !prev then invalid_arg "State.of_indices: indices must be strictly increasing";
+      prev := i)
+    idxs;
+  let re = Array.make total 0.0 and im = Array.make total 0.0 in
+  let a = 1.0 /. sqrt (float_of_int n) in
+  Array.iter (fun i -> re.(i) <- a) idxs;
+  { dims = Array.copy dims; re; im }
+
 let dims t = Array.copy t.dims
 let num_wires t = Array.length t.dims
 let total_dim t = Array.length t.re
@@ -326,7 +342,7 @@ let measure rng t ~wires =
         end
       done);
   let nrm = sqrt (norm2_planes ~re:out_re ~im:out_im total) in
-  if nrm < 1e-150 then invalid_arg "Cvec.normalize: zero vector";
+  if nrm < Cvec.zero_norm_floor then invalid_arg "Cvec.normalize: zero vector";
   let s = 1.0 /. nrm in
   Parallel.parallel_for 0 total (fun lo hi -> Cvec.scale_planes s ~re:out_re ~im:out_im ~lo ~hi);
   (outcome, { t with re = out_re; im = out_im })

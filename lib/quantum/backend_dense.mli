@@ -9,6 +9,13 @@
 
 include Backend.S
 
+val of_indices : int array -> int array -> t
+(** Uniform superposition over the given {e encoded} basis indices
+    (strictly increasing, in range) — the dense mirror of
+    [Backend_sparse.of_indices].
+    @raise Invalid_argument on an empty, unsorted or out-of-range
+    index array. *)
+
 val apply_wire : t -> wire:int -> Linalg.Cmat.t -> t
 val approx_equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

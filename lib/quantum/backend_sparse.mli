@@ -1,4 +1,11 @@
-(** Sparse state-vector backend: a hashtable of the nonzero amplitudes.
+(** Sparse state-vector backend: the nonzero amplitudes on a sorted
+    segment — three parallel flat arrays (basis indices, strictly
+    increasing, plus unboxed re/im float planes).  Construction goes
+    through a builder that batches insertions in a small unsorted
+    buffer and merge-compacts it into the segment when it outgrows a
+    fixed fraction of it (each compaction is recorded in the {!Metrics}
+    ledger).  No boxed [Complex.t] and no hashtable anywhere in the hot
+    loops.
 
     Time and memory scale with the support size (times the local fibre
     dimension for gate application), not with [prod dims], so registers
@@ -7,19 +14,30 @@
     workloads: coset states [|xH>] have support [|H|], and their group
     Fourier transforms are supported on the [|G|/|H|]-point annihilator.
 
+    The kernels run on the {!Parallel} domain pool under the same
+    determinism contract as the dense backend — bit-for-bit identical
+    results at every job count.  Fibre gather/apply and relabelling
+    emit per-chunk output runs concatenated in chunk order; sortedness
+    is restored with {!Parallel.sort_perm} under total orders; norm²,
+    probabilities and measurement are index-ordered chunk reductions
+    (the old hashtable backend summed floats in iteration order, which
+    was not schedule-invariant).
+
     Amplitudes with modulus at most the pruning epsilon are dropped
-    after each unitary, so destructive interference actually shrinks the
-    table.  The epsilon is {e per state}: fixed at construction (from
-    the optional [?prune_eps] argument, else the session default set by
-    {!set_prune_epsilon}, initially [1e-12]) and carried through every
-    derived state, so changing the default mid-session never contaminates
-    states already built.
+    after each unitary, so destructive interference actually shrinks
+    the segment.  The epsilon is {e per state}: fixed at construction
+    (from the optional [?prune_eps] argument, else the session default
+    set by {!set_prune_epsilon}, initially [1e-12]) and carried through
+    every derived state, so changing the default mid-session never
+    contaminates states already built.
 
     The operations implement {!Backend.S} (modulo the optional
     [?prune_eps] on constructors); the equivalence test suite checks
     them against {!Backend_dense} amplitude-by-amplitude on random
-    circuits.  Work statistics (populated fibre counts, peak support,
-    pruned amplitudes) are recorded in the {!Metrics} ledger. *)
+    circuits, and against the retained hashtable baseline
+    ({!Backend_htbl}).  Work statistics (populated fibre counts, peak
+    support, pruned amplitudes, compactions) are recorded in the
+    {!Metrics} ledger. *)
 
 type t
 
@@ -27,6 +45,16 @@ val create : ?prune_eps:float -> int array -> t
 val of_basis : ?prune_eps:float -> int array -> int array -> t
 val of_amplitudes : ?prune_eps:float -> int array -> Linalg.Cvec.t -> t
 val of_support : ?prune_eps:float -> int array -> (int array * Linalg.Cx.t) list -> t
+
+val of_indices : ?prune_eps:float -> int array -> int array -> t
+(** [of_indices dims idxs] is the uniform superposition over the given
+    {e encoded} basis indices, which must be strictly increasing and in
+    range — the segment is adopted directly with no sort, no builder
+    pass and no hashing, so building a coset state from a pre-bucketed
+    index list costs O(|coset|).
+    @raise Invalid_argument on an empty, unsorted or out-of-range
+    index array. *)
+
 val uniform : ?prune_eps:float -> int array -> t
 val dims : t -> int array
 val num_wires : t -> int
@@ -34,7 +62,9 @@ val total_dim : t -> int
 val support_size : t -> int
 val amplitudes : t -> Linalg.Cvec.t
 val amp_at : t -> int -> Linalg.Cx.t
+
 val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
+(** Visits entries in increasing basis-index order. *)
 
 val tensor : t -> t -> t
 (** The product carries the left operand's pruning epsilon. *)

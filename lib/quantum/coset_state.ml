@@ -1,58 +1,97 @@
 open Linalg
 
 let max_group_size = 1 lsl 22
+let max_group_size_sparse = 1 lsl 26
 
-let total_of dims =
-  let total = Array.fold_left ( * ) 1 dims in
-  if total > max_group_size then
+let check_total ~cap total =
+  if total > cap then
     invalid_arg "Coset_state: group too large for state-vector simulation";
   total
+
+(* Dense-path size check: [sample_full] and [enumerate] materialise
+   O(|A|) dense data, so they keep the small cap regardless of
+   backend. *)
+let total_of dims = check_total ~cap:max_group_size (Array.fold_left ( * ) 1 dims)
 
 let enumerate dims =
   let total = total_of dims in
   List.init total (fun idx -> State.decode dims idx)
 
 let sampler ?backend ~dims ~f ~queries () =
-  let total = total_of dims in
-  (* The oracle is deterministic, so the simulator's classical
-     expansion of the superposition is computed once and shared by all
-     samples; each sample is still charged one quantum query. *)
-  let tags = lazy (Array.init total (fun idx -> f (State.decode dims idx))) in
+  let total = Backend.total_of dims in
+  (* The Fourier/measure pipeline never materialises O(|A|) amplitudes
+     on the sparse backend, so the cap is the flat-array bound for the
+     tag/bucket tables, not the dense amplitude ceiling. *)
+  let resolved = Backend.resolve ?backend ~total () in
+  let cap =
+    match resolved with
+    | Backend.Sparse -> max_group_size_sparse
+    | _ -> max_group_size
+  in
+  let total = check_total ~cap total in
+  (* The oracle is deterministic, so the simulator expands it
+     classically ONCE and buckets the group by coset, CSR-style:
+     [members.(starts.(c) .. starts.(c+1)-1)] lists coset [c]'s basis
+     indices in increasing order.  The pass is O(|A|), shared by all
+     samples (ledger: sampler_preps stays at 1 per oracle) and charged
+     to "sample-prep"; after it, one sample touches only its own
+     bucket — O(|coset|), never O(|A|) again.  Each sample is still
+     charged one quantum query. *)
+  let buckets =
+    lazy
+      ( Metrics.phase "sample-prep" @@ fun () ->
+        Metrics.record_sampler_prep ();
+        let ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        let tag_id =
+          Array.init total (fun idx ->
+              let t = f (State.decode dims idx) in
+              match Hashtbl.find_opt ids t with
+              | Some id -> id
+              | None ->
+                  let id = Hashtbl.length ids in
+                  Hashtbl.add ids t id;
+                  id)
+        in
+        let k = Hashtbl.length ids in
+        let starts = Array.make (k + 1) 0 in
+        Array.iter (fun id -> starts.(id + 1) <- starts.(id + 1) + 1) tag_id;
+        for c = 0 to k - 1 do
+          starts.(c + 1) <- starts.(c + 1) + starts.(c)
+        done;
+        let fill = Array.sub starts 0 k in
+        let members = Array.make total 0 in
+        (* ascending idx: every bucket comes out sorted, ready to be
+           adopted directly as a sparse segment *)
+        for idx = 0 to total - 1 do
+          let id = tag_id.(idx) in
+          members.(fill.(id)) <- idx;
+          fill.(id) <- fill.(id) + 1
+        done;
+        (tag_id, starts, members) )
+  in
   let wires = List.init (Array.length dims) (fun i -> i) in
   fun rng ->
     Query.tick queries;
-    let tags = Lazy.force tags in
+    let tag_id, starts, members = Lazy.force buckets in
     (* Measure the function register first: the outcome is f(x) for a
        uniform x, i.e. a coset chosen with probability |coset| / |A|.
        Drawing a uniform basis index and taking its bucket implements
        exactly that. *)
     let x0 = Random.State.int rng total in
-    let t0 = tags.(x0) in
-    let members = ref [] and count = ref 0 in
-    for idx = total - 1 downto 0 do
-      if tags.(idx) = t0 then begin
-        members := idx :: !members;
-        incr count
-      end
-    done;
-    let amp = Cx.re (1.0 /. sqrt (float_of_int !count)) in
+    let id = tag_id.(x0) in
+    let lo = starts.(id) in
+    let count = starts.(id + 1) - lo in
+    Metrics.add_coset_visits count;
     let st =
       Metrics.phase "sample-prep" @@ fun () ->
-      match Backend.resolve ?backend ~total () with
-      | Backend.Sparse ->
-          State.of_sparse ~backend:Backend.Sparse dims
-            (List.map (fun idx -> (State.decode dims idx, amp)) !members)
-      | _ ->
-          let v = Cvec.make total in
-          List.iter (fun idx -> v.(idx) <- amp) !members;
-          State.of_amplitudes ~backend:Backend.Dense dims v
+      State.of_indices ~backend:resolved dims (Array.sub members lo count)
     in
     let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires) in
     let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
     if Metrics.tracing () then
       Metrics.trace "coset-round"
         [
-          ("coset_size", string_of_int !count);
+          ("coset_size", string_of_int count);
           ("fourier_support", string_of_int (State.support_size st));
           ( "outcome",
             String.concat "," (List.map string_of_int (Array.to_list outcome)) );
@@ -66,26 +105,34 @@ let sampler_with_support ?backend ~dims ~coset ~queries () =
      caller hands us the coset of a uniformly drawn point directly, so
      one round costs O(|coset|) state construction plus the sparse
      Fourier/measurement work.  This is what lifts instances whose
-     total dimension exceeds the dense cap: the backend defaults to
-     sparse ({!State.of_sparse}) unless the caller forces dense. *)
+     total dimension exceeds even [max_group_size_sparse]: the backend
+     defaults to sparse ({!State.of_indices}) unless the caller forces
+     dense. *)
   let _total_checked = Backend.total_of dims in
   let wires = List.init (Array.length dims) (fun i -> i) in
   fun rng ->
     Query.tick queries;
     let x0 = Array.map (fun d -> Random.State.int rng d) dims in
-    let members = Metrics.phase "sample-prep" (fun () -> coset x0) in
-    if members = [] then invalid_arg "Coset_state: coset function returned an empty coset";
-    let amp = Cx.re (1.0 /. sqrt (float_of_int (List.length members))) in
-    let st =
-      Metrics.phase "sample-prep" (fun () ->
-          State.of_sparse ?backend dims (List.map (fun x -> (x, amp)) members))
+    let st, count =
+      Metrics.phase "sample-prep" @@ fun () ->
+      let members = coset x0 in
+      (match members with
+      | [] -> invalid_arg "Coset_state: coset function returned an empty coset"
+      | _ :: _ -> ());
+      (* Encode once, sort, and hand the segment to the backend whole:
+         O(|coset| log |coset|) with no per-member boxing or hashing. *)
+      let idxs = Array.of_list (List.map (State.encode dims) members) in
+      Array.sort Int.compare idxs;
+      let count = Array.length idxs in
+      Metrics.add_coset_visits count;
+      (State.of_indices ?backend dims idxs, count)
     in
     let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires) in
     let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
     if Metrics.tracing () then
       Metrics.trace "coset-round"
         [
-          ("coset_size", string_of_int (List.length members));
+          ("coset_size", string_of_int count);
           ("fourier_support", string_of_int (State.support_size st));
           ( "outcome",
             String.concat "," (List.map string_of_int (Array.to_list outcome)) );

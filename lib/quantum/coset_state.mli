@@ -12,18 +12,25 @@
       the function register {e first} (deferred-measurement principle:
       measuring the two registers in either order yields the same joint
       distribution), so it only ever materialises one coset state
-      instead of the [|A| * #values] tensor.  Expanding the oracle
-      classically still costs O(|A|), so these are capped at
-      2^22 group elements.
+      instead of the [|A| * #values] tensor.  The oracle is expanded
+      classically {e once} per sampler — one O(|A|) pass that buckets
+      the group into cosets (ledger: [sampler_preps]) — after which
+      every sample costs O(|coset|) construction off its pre-sorted
+      bucket (ledger: [coset_visits]) plus the Fourier/measure work.
+      Capped at {!max_group_size} (2^22) on the dense backend, where
+      amplitudes are materialised in full, and {!max_group_size_sparse}
+      (2^26) on the sparse one, where only the bucket tables are
+      O(|A|).
     - {!sampler_with_support} — the beyond-the-cap path.  The caller
       supplies the coset of a point directly (the simulator's planted
       instance knows the hidden subgroup), so one round costs
-      O(|coset|) state construction on the sparse backend and no
-      O(|A|) expansion at all; groups far beyond the dense 2^24 cap
-      become simulable when cosets and their Fourier supports are
-      small.
+      O(|coset| log |coset|) state construction on the sparse backend
+      and no O(|A|) pass at all; groups far beyond
+      {!max_group_size_sparse} become simulable when cosets and their
+      Fourier supports are small.
     - {!sample_full} — the reference implementation on the full tensor
-      product, used by tests to validate {!sample}.
+      product, used by tests to validate {!sample}; dense O(|A|)
+      throughout, capped at {!max_group_size}.
 
     Each call costs one oracle query: the oracle is evaluated once in
     superposition.  The classical expansion of that superposition by
@@ -32,6 +39,15 @@
     Every entry point takes an optional [?backend] routed to the
     {!State} constructors; omitted, the session default
     ({!Backend.default}) applies. *)
+
+val max_group_size : int
+(** Group-size cap of {!sampler} / {!sample_full} on the dense backend
+    (2^22): these paths materialise O(|A|) amplitudes. *)
+
+val max_group_size_sparse : int
+(** Group-size cap of {!sampler} on the sparse backend (2^26): the
+    amplitudes stay O(|coset|), so the bound is only the flat
+    tag/bucket tables of the shared prep pass. *)
 
 val sample :
   Random.State.t -> dims:int array -> f:(int array -> int) -> queries:Query.t -> int array
@@ -49,9 +65,10 @@ val sampler :
   unit ->
   Random.State.t -> int array
 (** Factory form of {!sample} that evaluates the (deterministic)
-    oracle over the group once and reuses the table across samples —
-    same distribution and query accounting, much cheaper simulation
-    when many rounds are drawn from one oracle. *)
+    oracle over the group once, buckets the group into cosets, and
+    reuses the buckets across samples — same distribution and query
+    accounting, with every round after the first pass costing
+    O(|coset|) instead of O(|A|). *)
 
 val sampler_with_support :
   ?backend:Backend.choice ->
@@ -63,11 +80,11 @@ val sampler_with_support :
 (** Like {!sampler}, but the simulator is given the coset structure
     instead of discovering it by exhaustive oracle expansion:
     [coset x] must return the distinct members of [xH].  One round
-    draws a uniform [x], builds the [|xH>] superposition sparsely
-    ({!State.of_sparse} — sparse backend unless overridden), Fourier
-    transforms and measures.  No group-size cap; this is the entry
-    point that lifts instances whose total dimension exceeds
-    {!State.max_total_dim}.  Query accounting is identical to
+    draws a uniform [x], encodes and sorts the members, and hands the
+    index segment to the backend whole ({!State.of_indices} — sparse
+    unless overridden).  No group-size cap; this is the entry point
+    that lifts instances whose total dimension exceeds even
+    {!max_group_size_sparse}.  Query accounting is identical to
     {!sampler}: one quantum query per round. *)
 
 val sample_with_support :

@@ -19,6 +19,9 @@ type snapshot = {
   peak_support : int;
   pruned_amps : int;
   peak_dense_alloc : int;
+  compactions : int;
+  sampler_preps : int;
+  coset_visits : int;
   phases : (string * float) list;
 }
 
@@ -38,6 +41,9 @@ let states_created = Atomic.make 0
 let peak_support = Atomic.make 0
 let pruned_amps = Atomic.make 0
 let peak_dense_alloc = Atomic.make 0
+let compactions = Atomic.make 0
+let sampler_preps = Atomic.make 0
+let coset_visits = Atomic.make 0
 
 let tick c = ignore (Atomic.fetch_and_add c 1)
 let add c n = ignore (Atomic.fetch_and_add c n)
@@ -63,6 +69,9 @@ let reset () =
   Atomic.set peak_support 0;
   Atomic.set pruned_amps 0;
   Atomic.set peak_dense_alloc 0;
+  Atomic.set compactions 0;
+  Atomic.set sampler_preps 0;
+  Atomic.set coset_visits 0;
   phase_order := [];
   Hashtbl.reset phase_seconds
 
@@ -79,6 +88,9 @@ let snapshot () =
     peak_support = Atomic.get peak_support;
     pruned_amps = Atomic.get pruned_amps;
     peak_dense_alloc = Atomic.get peak_dense_alloc;
+    compactions = Atomic.get compactions;
+    sampler_preps = Atomic.get sampler_preps;
+    coset_visits = Atomic.get coset_visits;
     phases =
       List.rev_map
         (fun name -> (name, Option.value ~default:0.0 (Hashtbl.find_opt phase_seconds name)))
@@ -96,6 +108,9 @@ let record_state_created () = tick states_created
 let record_support s = raise_to peak_support s
 let record_pruned () = tick pruned_amps
 let record_dense_alloc total = raise_to peak_dense_alloc total
+let record_compaction () = tick compactions
+let record_sampler_prep () = tick sampler_preps
+let add_coset_visits n = add coset_visits n
 
 (* ------------------------------------------------------------------ *)
 (* Structured trace events                                             *)
@@ -142,6 +157,9 @@ let to_fields s =
     ("peak_support", string_of_int s.peak_support);
     ("pruned_amps", string_of_int s.pruned_amps);
     ("peak_dense_alloc", string_of_int s.peak_dense_alloc);
+    ("compactions", string_of_int s.compactions);
+    ("sampler_preps", string_of_int s.sampler_preps);
+    ("coset_visits", string_of_int s.coset_visits);
   ]
   @ List.map (fun (name, sec) -> ("sec_" ^ name, Printf.sprintf "%.6f" sec)) s.phases
 
@@ -156,6 +174,9 @@ let pp fmt s =
   Format.fprintf fmt "  peak sparse support : %d@," s.peak_support;
   Format.fprintf fmt "  pruned amplitudes : %d@," s.pruned_amps;
   Format.fprintf fmt "  peak dense alloc  : %d@," s.peak_dense_alloc;
+  Format.fprintf fmt "  segment compactions : %d@," s.compactions;
+  Format.fprintf fmt "  sampler prep passes : %d@," s.sampler_preps;
+  Format.fprintf fmt "  coset members visited : %d@," s.coset_visits;
   List.iter
     (fun (name, sec) -> Format.fprintf fmt "  phase %-11s : %.6fs@," name sec)
     s.phases;

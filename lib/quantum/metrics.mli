@@ -43,9 +43,20 @@ type snapshot = {
   oracle_ops : int;  (** [State.apply_oracle_add] calls *)
   measurements : int;  (** [State.measure] / [measure_all] calls *)
   states_created : int;  (** constructor + tensor calls *)
-  peak_support : int;  (** largest sparse table seen *)
+  peak_support : int;  (** largest sparse segment seen *)
   pruned_amps : int;  (** nonzero amplitudes dropped below epsilon *)
   peak_dense_alloc : int;  (** largest dense amplitude array allocated *)
+  compactions : int;
+      (** sparse-backend builder merge-compactions (insertion buffer
+          folded into the sorted segment) *)
+  sampler_preps : int;
+      (** O(|G|) oracle-expansion/bucketing passes performed by
+          [Coset_state.sampler] — shared across samples, so this stays
+          at 1 per oracle however many rounds are drawn *)
+  coset_visits : int;
+      (** coset members visited while building sampled coset states —
+          the per-sample work of [Coset_state.sampler] after the shared
+          prep pass, O(|coset|) per round *)
   phases : (string * float) list;
       (** accumulated wall-clock seconds per phase, first-seen order *)
 }
@@ -70,6 +81,16 @@ val record_support : int -> unit
 
 val record_pruned : unit -> unit
 val record_dense_alloc : int -> unit
+
+val record_compaction : unit -> unit
+(** One sparse-builder merge-compaction (sorted segment absorbed the
+    insertion buffer). *)
+
+val record_sampler_prep : unit -> unit
+(** One shared O(|G|) bucketing pass in [Coset_state.sampler]. *)
+
+val add_coset_visits : int -> unit
+(** Coset members visited while building one sampled coset state. *)
 
 (** {2 Structured trace events} *)
 

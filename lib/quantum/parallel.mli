@@ -50,3 +50,18 @@ val reduction_chunks : ?max_chunks:int -> slot_words:int -> int -> int
     [slot_words] words: fixed by the workload geometry alone (never the
     job count), capped at [?max_chunks] (default 64) and by a bound on
     total partial-buffer memory. *)
+
+val chunk_bound : lo:int -> hi:int -> nchunks:int -> int -> int
+(** [chunk_bound ~lo ~hi ~nchunks c] is the lower boundary of chunk [c]
+    (so chunk [c] covers [\[chunk_bound c, chunk_bound (c+1))]) — the
+    exact split {!parallel_for} and {!map_chunks} use.  Exposed so a
+    caller that must revisit one chunk serially (e.g. the sparse
+    backend's measurement scan) reproduces the same boundaries. *)
+
+val sort_perm : cmp:(int -> int -> int) -> int -> int array
+(** [sort_perm ~cmp n] is the permutation of [0 .. n-1] that sorts
+    positions by [cmp]: a parallel merge sort over leaf runs whose
+    boundaries — and merge tree — are fixed by [n] alone.  [cmp] must
+    be a {e total} order (break ties, e.g. by position); the sorted
+    permutation is then unique, hence bit-for-bit identical at every
+    job count. *)

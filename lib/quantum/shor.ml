@@ -24,7 +24,7 @@ let sample_round ?backend rng q tags queries =
     let t0 = tags.(k0) in
     let members = ref [] and count = ref 0 in
     for k = q - 1 downto 0 do
-      if tags.(k) = t0 then begin
+      if Int.equal tags.(k) t0 then begin
         members := k :: !members;
         incr count
       end

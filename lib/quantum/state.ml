@@ -38,6 +38,15 @@ let of_sparse ?backend ?prune_eps dims entries =
   | Backend.Dense -> Dense (Backend_dense.of_support dims entries)
   | Backend.Sparse | Backend.Auto -> Sparse (Backend_sparse.of_support ?prune_eps dims entries)
 
+(* Same default as of_sparse: a pre-encoded index list is a sparse
+   construction, so Auto means the sparse backend. *)
+let of_indices ?backend ?prune_eps dims idxs =
+  Metrics.record_state_created ();
+  let choice = match backend with Some c -> c | None -> Backend.default () in
+  match choice with
+  | Backend.Dense -> Dense (Backend_dense.of_indices dims idxs)
+  | Backend.Sparse | Backend.Auto -> Sparse (Backend_sparse.of_indices ?prune_eps dims idxs)
+
 let uniform ?backend dims =
   Metrics.record_state_created ();
   match resolve ?backend dims with

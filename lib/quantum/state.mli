@@ -60,6 +60,18 @@ val of_sparse :
     value); ignored when the state lands on the dense backend.
     @raise Invalid_argument on an empty or zero-norm support. *)
 
+val of_indices :
+  ?backend:Backend.choice -> ?prune_eps:float -> int array -> int array -> t
+(** [of_indices dims idxs] is the uniform superposition over the given
+    pre-{e encoded} basis indices, which must be strictly increasing
+    and in range.  The fast path for coset-state construction: the
+    sparse backend adopts the array as its sorted segment directly —
+    O(|idxs|), no sort, no hashing, no per-entry boxing.  Backend
+    default follows {!of_sparse} (sparse even under [Auto]);
+    [prune_eps] as in {!of_sparse}.
+    @raise Invalid_argument on an empty, unsorted or out-of-range
+    index array. *)
+
 val dims : t -> int array
 val num_wires : t -> int
 val total_dim : t -> int

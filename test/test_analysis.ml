@@ -231,6 +231,23 @@ let test_lint_poly_compare () =
   checkb "module-qualified ok" true
     (rules_of strict "let f a b = Int.compare a b" = [])
 
+let test_lint_array_element () =
+  checkb "element vs ident" true
+    (List.mem Lint.Poly_compare (rules_of strict "let f tags i t0 = tags.(i) = t0"));
+  checkb "ident vs element" true
+    (List.mem Lint.Poly_compare (rules_of strict "let f b i d = d <> b.(i)"));
+  checkb "element vs element" true
+    (List.mem Lint.Poly_compare (rules_of strict "let f a i j = a.(i) = a.(j)"));
+  checkb "element vs field" true
+    (List.mem Lint.Poly_compare (rules_of strict "let f st c = st.parent.(c) = st.root"));
+  checkb "literal operand ok" true (rules_of strict "let f t = t.(1) = 1" = []);
+  checkb "compound operand ok" true
+    (rules_of strict "let f a i x = a.(i) = (x land 1)" = []);
+  checkb "Int.equal ok" true (rules_of strict "let f a i x = Int.equal a.(i) x" = []);
+  checkb "scoped off" true (rules_of lenient "let f tags i t0 = tags.(i) = t0" = []);
+  checkb "allow comment" true
+    (rules_of strict "(* hsp-lint: allow poly-compare *)\nlet f a i x = a.(i) = x" = [])
+
 let test_lint_poly_eq () =
   checkb "eq as value" true
     (List.mem Lint.Poly_eq (rules_of strict "let f xs = List.mem ( = ) xs"));
@@ -334,6 +351,7 @@ let () =
       ( "lint",
         [
           Alcotest.test_case "poly-compare" `Quick test_lint_poly_compare;
+          Alcotest.test_case "array element" `Quick test_lint_array_element;
           Alcotest.test_case "poly-eq" `Quick test_lint_poly_eq;
           Alcotest.test_case "float-eq" `Quick test_lint_float_eq;
           Alcotest.test_case "obj-magic" `Quick test_lint_obj_magic;

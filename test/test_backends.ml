@@ -173,6 +173,21 @@ let test_tensor_and_conversion () =
       (State.approx_equal ~eps:1e-12 da (State.to_backend Backend.Dense (State.to_backend Backend.Sparse da)))
   done
 
+(* The retained hashtable baseline is not reachable through State, so
+   replay the same op list against it directly: an implementation of
+   the kernels that shares nothing with the sorted-segment code paths
+   (boxed amplitudes, hashing, serial loops) is a strong differential
+   oracle for the rewrite. *)
+let apply_op_htbl dims st = function
+  | Wire_unitary (w, m) -> Backend_htbl.apply_wires st ~wires:[ w ] m
+  | Dft (w, inv) -> Backend_htbl.apply_dft st ~wire:w ~inverse:inv
+  | Shift_map c ->
+      Backend_htbl.apply_basis_map st (fun x ->
+          Array.mapi (fun i xi -> (xi + c.(i)) mod dims.(i)) x)
+  | Oracle_add (ins, out) ->
+      Backend_htbl.apply_oracle_add st ~in_wires:ins ~out_wire:out ~f:(fun x ->
+          Array.fold_left (fun acc v -> (3 * acc) + v + 1) 0 x mod dims.(out))
+
 (* QCheck variant: the invariant as a property over generated seeds,
    so shrinking points at a minimal failing circuit seed. *)
 let qcheck_props =
@@ -184,6 +199,19 @@ let qcheck_props =
         let dims = Array.init (1 + Random.State.int rng 3) (fun _ -> 2 + Random.State.int rng 4) in
         let dense, sparse = run_both rng dims in
         State.approx_equal ~eps:1e-9 dense sparse);
+    Test.make ~count:40 ~name:"segment sparse agrees with hashtable baseline"
+      (int_bound 100000) (fun seed ->
+        let rng = Random.State.make [| seed; 0xdb1 |] in
+        let dims = Array.init (1 + Random.State.int rng 3) (fun _ -> 2 + Random.State.int rng 4) in
+        let entries = random_entries rng dims in
+        let sparse = ref (State.of_sparse ~backend:Backend.Sparse dims entries) in
+        let htbl = ref (Backend_htbl.of_support dims entries) in
+        for _ = 1 to 6 do
+          let op = random_op rng dims in
+          sparse := apply_op dims !sparse op;
+          htbl := apply_op_htbl dims !htbl op
+        done;
+        Cvec.approx_equal ~eps:1e-9 (State.amplitudes !sparse) (Backend_htbl.amplitudes !htbl));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -269,6 +297,41 @@ let test_sparse_solve_beyond_cap () =
   in
   checki "generators generate H" h_order (Hashtbl.length tbl)
 
+let test_of_indices () =
+  let dims = [| 4; 5 |] in
+  let idxs = [| 1; 7; 11; 19 |] in
+  let d = State.of_indices ~backend:Backend.Dense dims idxs in
+  let s = State.of_indices ~backend:Backend.Sparse dims idxs in
+  checkb "dense/sparse of_indices agree" true (State.approx_equal ~eps:1e-12 d s);
+  checkb "default backend is sparse" true
+    (State.backend (State.of_indices dims idxs) = Backend.Sparse);
+  checki "support" 4 (State.support_size s);
+  checkb "uniform amplitude" true (Float.abs (Cx.abs (State.amp_at s 7) -. 0.5) < 1e-12);
+  checkb "unit norm" true (Float.abs (State.norm s -. 1.0) < 1e-12);
+  (* matches the equivalent of_sparse construction *)
+  let via_support =
+    State.of_sparse ~backend:Backend.Sparse dims
+      (List.map (fun i -> (State.decode dims i, Cx.one)) (Array.to_list idxs))
+  in
+  checkb "agrees with of_sparse" true (State.approx_equal ~eps:1e-12 s via_support);
+  List.iter
+    (fun backend ->
+      Alcotest.check_raises "empty rejected" (Invalid_argument "State.of_indices: empty support")
+        (fun () -> ignore (State.of_indices ~backend dims [||]));
+      Alcotest.check_raises "unsorted rejected"
+        (Invalid_argument "State.of_indices: indices must be strictly increasing") (fun () ->
+          ignore (State.of_indices ~backend dims [| 3; 3 |]));
+      Alcotest.check_raises "out of range rejected"
+        (Invalid_argument "State.of_indices: index out of range") (fun () ->
+          ignore (State.of_indices ~backend dims [| 0; 20 |])))
+    [ Backend.Dense; Backend.Sparse ];
+  (* beyond the dense cap the segment is adopted as-is *)
+  let big = Array.init 1000 (fun k -> 7 + (33 * k)) in
+  let st = State.of_indices big_dims big in
+  checki "big support" 1000 (State.support_size st);
+  checkb "big amp" true
+    (Float.abs (Cx.abs (State.amp_at st 7) -. (1.0 /. sqrt 1000.0)) < 1e-12)
+
 let test_sparse_pruning () =
   (* Destructive interference must shrink the table: DFT then inverse
      DFT of a basis state passes through full support and returns to a
@@ -293,6 +356,7 @@ let () =
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
       ( "beyond-cap",
         [
+          Alcotest.test_case "of_indices" `Quick test_of_indices;
           Alcotest.test_case "coset state at 2^25" `Quick test_sparse_coset_beyond_cap;
           Alcotest.test_case "end-to-end solve at 2^25" `Slow test_sparse_solve_beyond_cap;
           Alcotest.test_case "amplitude pruning" `Quick test_sparse_pruning;

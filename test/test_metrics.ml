@@ -169,6 +169,91 @@ let test_tracer_receives_events () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Sampler cost: one shared prep pass, O(|coset|) per sample          *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance criterion for the bucketed sampler, pinned through
+   the ledger: however many rounds are drawn, the O(|G|) oracle
+   expansion happens exactly once (sampler_preps), and each round's
+   state construction visits exactly its coset's members
+   (coset_visits = rounds * |H| here, since every coset of the planted
+   grid subgroup has the same size) — so per-sample cost is O(|coset|),
+   not O(|G|). *)
+let test_sampler_cost_ledger () =
+  setup ();
+  let dims = [| 64; 64 |] and moduli = [| 8; 8 |] in
+  let coset_size = (dims.(0) / moduli.(0)) * (dims.(1) / moduli.(1)) in
+  let f x = Backend.encode moduli (Array.map2 (fun xi m -> xi mod m) x moduli) in
+  let queries = Query.create () in
+  let draw = Coset_state.sampler ~dims ~f ~queries () in
+  let r = rng () in
+  let rounds = 5 in
+  for _ = 1 to rounds do
+    ignore (draw r)
+  done;
+  let m = Metrics.snapshot () in
+  checki "one prep pass for all rounds" 1 m.Metrics.sampler_preps;
+  checki "per-sample work is exactly the coset" (rounds * coset_size) m.Metrics.coset_visits;
+  checkb "prep charged to sample-prep phase" true
+    (List.mem_assoc "sample-prep" m.Metrics.phases);
+  checki "one query per round" rounds (Query.count queries);
+  (* more rounds reuse the same buckets: prep count must not move *)
+  for _ = 1 to rounds do
+    ignore (draw r)
+  done;
+  let m = Metrics.snapshot () in
+  checki "still one prep pass" 1 m.Metrics.sampler_preps;
+  checki "visits stay proportional" (2 * rounds * coset_size) m.Metrics.coset_visits
+
+(* The sparse backend lifts the sampler's group-size cap from 2^22 to
+   2^26: a 2^23 group is refused on the dense path but samples fine on
+   the sparse one. *)
+let test_sampler_sparse_cap_lifted () =
+  setup ();
+  checki "dense cap" (1 lsl 22) Coset_state.max_group_size;
+  checki "sparse cap" (1 lsl 26) Coset_state.max_group_size_sparse;
+  let dims = [| 4096; 2048 |] (* 2^23: over the dense cap, under sparse *) in
+  let moduli = [| 64; 64 |] in
+  let f x = Backend.encode moduli (Array.map2 (fun xi m -> xi mod m) x moduli) in
+  let queries = Query.create () in
+  Alcotest.check_raises "dense-resolved sampler refuses 2^23"
+    (Invalid_argument "Coset_state: group too large for state-vector simulation") (fun () ->
+      let (_ : Random.State.t -> int array) = Coset_state.sampler ~dims ~f ~queries () in
+      ());
+  let draw = Coset_state.sampler ~backend:Backend.Sparse ~dims ~f ~queries () in
+  let r = rng () in
+  let y = draw r in
+  (* the sampled character must annihilate H = {x : x_i mod m_i = 0} *)
+  checkb "character annihilates H" true
+    (y.(0) * moduli.(0) mod dims.(0) = 0 && y.(1) * moduli.(1) mod dims.(1) = 0);
+  let m = Metrics.snapshot () in
+  checki "one prep pass" 1 m.Metrics.sampler_preps;
+  checki "coset visits = |H|"
+    ((dims.(0) / moduli.(0)) * (dims.(1) / moduli.(1)))
+    m.Metrics.coset_visits
+
+(* ------------------------------------------------------------------ *)
+(* Sparse builder compaction accounting                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_compaction_counter () =
+  setup ();
+  (* 200 scrambled entries against a 64-entry insertion buffer: the
+     builder must merge-compact more than once, and say so. *)
+  let dims = [| 512 |] in
+  let entries = List.init 200 (fun k -> ([| (k * 37) mod 512 |], Cx.one)) in
+  let st = Backend_sparse.of_support dims entries in
+  checki "all entries distinct and kept" 200 (Backend_sparse.support_size st);
+  let m = Metrics.snapshot () in
+  checkb "compactions recorded" true (m.Metrics.compactions >= 2);
+  (* a single-entry state never outgrows the buffer: exactly the one
+     finishing compaction *)
+  Metrics.reset ();
+  ignore (Backend_sparse.of_basis dims [| 3 |]);
+  let m = Metrics.snapshot () in
+  checki "basis state needs no compaction" 0 m.Metrics.compactions
+
+(* ------------------------------------------------------------------ *)
 (* Query/Hiding counter semantics across Runner.run invocations       *)
 (* ------------------------------------------------------------------ *)
 
@@ -259,6 +344,11 @@ let () =
             test_fibre_accounting;
           Alcotest.test_case "phase timer" `Quick test_phase_timer_accumulates;
           Alcotest.test_case "tracer events" `Quick test_tracer_receives_events;
+          Alcotest.test_case "sampler prep shared, per-sample O(|coset|)" `Quick
+            test_sampler_cost_ledger;
+          Alcotest.test_case "sparse sampler cap lifted to 2^26" `Slow
+            test_sampler_sparse_cap_lifted;
+          Alcotest.test_case "compaction counter" `Quick test_compaction_counter;
         ] );
       ( "counters",
         [

@@ -80,6 +80,43 @@ let test_reduction_chunks_geometry () =
   (* memory cap: huge slots force few chunks *)
   checki "memory-capped" 1 (Parallel.reduction_chunks ~slot_words:(1 lsl 25) 1000)
 
+let test_sort_perm () =
+  (* exercise both the serial leaf path (n < 8192) and the parallel
+     merge rounds (n >= 8192), at several job counts *)
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| n; 0x50e7 |] in
+      let keys = Array.init n (fun _ -> Random.State.int rng 50) in
+      (* many duplicate keys: the positional tie-break must make the
+         permutation unique *)
+      let cmp a b =
+        let c = Int.compare keys.(a) keys.(b) in
+        if c <> 0 then c else Int.compare a b
+      in
+      let base = Parallel.sort_perm ~cmp n in
+      let seen = Array.make n false in
+      Array.iter
+        (fun e ->
+          checkb "permutation has no repeats" false seen.(e);
+          seen.(e) <- true)
+        base;
+      for p = 1 to n - 1 do
+        checkb
+          (Printf.sprintf "n=%d sorted at %d" n p)
+          true
+          (cmp base.(p - 1) base.(p) < 0)
+      done;
+      List.iter
+        (fun j ->
+          with_jobs j (fun () ->
+              let perm = Parallel.sort_perm ~cmp n in
+              checkb
+                (Printf.sprintf "n=%d jobs=%d identical to jobs=1" n j)
+                true
+                (Array.for_all2 Int.equal base perm)))
+        [ 2; 4 ])
+    [ 0; 1; 100; 10_000 ]
+
 (* ------------------------------------------------------------------ *)
 (* Random circuit machinery (mirrors test_backends.ml)                *)
 (* ------------------------------------------------------------------ *)
@@ -153,10 +190,11 @@ let run_dense ~jobs (dims, entries, ops) =
       List.iter (fun op -> st := apply_op dims !st op) ops;
       !st)
 
-let run_sparse (dims, entries, ops) =
-  let st = ref (State.of_sparse ~backend:Backend.Sparse dims entries) in
-  List.iter (fun op -> st := apply_op dims !st op) ops;
-  !st
+let run_sparse ?(jobs = 1) (dims, entries, ops) =
+  with_jobs jobs (fun () ->
+      let st = ref (State.of_sparse ~backend:Backend.Sparse dims entries) in
+      List.iter (fun op -> st := apply_op dims !st op) ops;
+      !st)
 
 (* Exact (bitwise) amplitude equality — the determinism contract is
    stronger than approx_equal. *)
@@ -190,10 +228,18 @@ let qcheck_props =
       (fun seed ->
         let c = circuit_of_seed seed in
         identical (run_dense ~jobs:1 c) (run_dense ~jobs:4 c));
+    Test.make ~count:40 ~name:"sparse jobs=2 bit-identical to jobs=1" (int_bound 100000)
+      (fun seed ->
+        let c = circuit_of_seed seed in
+        identical (run_sparse ~jobs:1 c) (run_sparse ~jobs:2 c));
+    Test.make ~count:40 ~name:"sparse jobs=4 bit-identical to jobs=1" (int_bound 100000)
+      (fun seed ->
+        let c = circuit_of_seed seed in
+        identical (run_sparse ~jobs:1 c) (run_sparse ~jobs:4 c));
     Test.make ~count:40 ~name:"parallel dense agrees with sparse" (int_bound 100000)
       (fun seed ->
         let c = circuit_of_seed seed in
-        State.approx_equal ~eps:1e-9 (run_dense ~jobs:4 c) (run_sparse c));
+        State.approx_equal ~eps:1e-9 (run_dense ~jobs:4 c) (run_sparse ~jobs:4 c));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -206,30 +252,34 @@ let counters (s : Metrics.snapshot) =
   [
     s.gate_apps; s.gate_fibres; s.dft_apps; s.dft_fibres; s.basis_maps; s.oracle_ops;
     s.measurements; s.states_created; s.peak_support; s.pruned_amps; s.peak_dense_alloc;
+    s.compactions; s.sampler_preps; s.coset_visits;
   ]
 
 let test_ledger_equal_across_jobs () =
   let c = circuit_of_seed 0xced9e5 in
-  let ledger jobs =
+  let ledger run jobs =
     Metrics.reset ();
-    ignore (run_dense ~jobs c);
+    ignore (run ~jobs c);
     counters (Metrics.snapshot ())
   in
-  let base = ledger 1 in
   List.iter
-    (fun j ->
-      checkb (Printf.sprintf "ledger at jobs=%d matches jobs=1" j) true
-        (List.for_all2 Int.equal base (ledger j)))
-    [ 2; 4 ]
+    (fun (name, run) ->
+      let base = ledger run 1 in
+      List.iter
+        (fun j ->
+          checkb (Printf.sprintf "%s ledger at jobs=%d matches jobs=1" name j) true
+            (List.for_all2 Int.equal base (ledger run j)))
+        [ 2; 4 ])
+    [ ("dense", run_dense); ("sparse", fun ~jobs c -> run_sparse ~jobs c) ]
 
 (* Same seed + same job count => same measurement transcript; and the
    transcript is also independent of the job count, because the
    probability vectors fed to the sampler are bit-identical. *)
-let transcript ~jobs seed =
+let transcript ~backend ~jobs seed =
   with_jobs jobs (fun () ->
       let dims, entries, ops = circuit_of_seed seed in
       let rng = Random.State.make [| seed; 0x7ea5 |] in
-      let st = ref (State.of_sparse ~backend:Backend.Dense dims entries) in
+      let st = ref (State.of_sparse ~backend dims entries) in
       List.iter (fun op -> st := apply_op dims !st op) ops;
       let out = ref [] in
       for _ = 1 to 4 do
@@ -242,16 +292,21 @@ let transcript ~jobs seed =
 
 let test_measurement_transcript_determinism () =
   List.iter
-    (fun seed ->
-      let base = transcript ~jobs:1 seed in
-      checkb "same seed+jobs reproduces" true
-        (List.for_all2 Int.equal base (transcript ~jobs:1 seed));
+    (fun (name, backend) ->
       List.iter
-        (fun j ->
-          checkb (Printf.sprintf "transcript at jobs=%d matches jobs=1" j) true
-            (List.for_all2 Int.equal base (transcript ~jobs:j seed)))
-        [ 2; 4 ])
-    [ 1; 42; 0xbeef ]
+        (fun seed ->
+          let base = transcript ~backend ~jobs:1 seed in
+          checkb "same seed+jobs reproduces" true
+            (List.for_all2 Int.equal base (transcript ~backend ~jobs:1 seed));
+          List.iter
+            (fun j ->
+              checkb
+                (Printf.sprintf "%s transcript at jobs=%d matches jobs=1" name j)
+                true
+                (List.for_all2 Int.equal base (transcript ~backend ~jobs:j seed)))
+            [ 2; 4 ])
+        [ 1; 42; 0xbeef ])
+    [ ("dense", Backend.Dense); ("sparse", Backend.Sparse) ]
 
 let test_probabilities_bit_identical () =
   let dims = [| 6; 5; 4 |] in
@@ -284,6 +339,7 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
           Alcotest.test_case "set_jobs validation" `Quick test_set_jobs_validation;
           Alcotest.test_case "reduction chunk geometry" `Quick test_reduction_chunks_geometry;
+          Alcotest.test_case "sort_perm deterministic" `Quick test_sort_perm;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
       ( "determinism",
