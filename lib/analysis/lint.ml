@@ -1,8 +1,16 @@
-type rule = Poly_compare | Poly_eq | Struct_eq | Float_eq | Obj_magic | Print_stdout
+type rule =
+  | Poly_compare
+  | Poly_eq
+  | Poly_membership
+  | Struct_eq
+  | Float_eq
+  | Obj_magic
+  | Print_stdout
 
 let rule_name = function
   | Poly_compare -> "poly-compare"
   | Poly_eq -> "poly-eq"
+  | Poly_membership -> "poly-membership"
   | Struct_eq -> "struct-eq"
   | Float_eq -> "float-eq"
   | Obj_magic -> "obj-magic"
@@ -11,6 +19,7 @@ let rule_name = function
 let rule_of_name = function
   | "poly-compare" -> Some Poly_compare
   | "poly-eq" -> Some Poly_eq
+  | "poly-membership" -> Some Poly_membership
   | "struct-eq" -> Some Struct_eq
   | "float-eq" -> Some Float_eq
   | "obj-magic" -> Some Obj_magic
@@ -224,6 +233,89 @@ let array_element_operands args =
       (is_array_get l && is_plain_scalar r) || (is_array_get r && is_plain_scalar l)
   | _ -> false
 
+(* The poly-membership heuristic.  In the directories under poly
+   checking, list/array containers hold group elements, words, [int
+   array] tuples and oracle tags; the structural equality baked into
+   [List.mem]/[List.assoc] (and into equality-predicate searches)
+   silently diverges from the modules' own [equal] on non-canonical
+   representatives, exactly like bare [compare].  Two shapes fire:
+
+   - a membership head ([List.mem], [List.assoc], ...) whose key
+     operand is not a literal constant (literal keys — [List.mem "all"
+     rules] — are monomorphised on the spot and idiomatic);
+   - a search combinator ([List.exists], [List.filter], ...) whose
+     predicate is an equality section [(( = ) x)] or a lambda whose
+     whole body is one [=]/[<>] application with no literal operand.
+
+   The fix is the typed equality: [List.exists (Int.equal k) xs],
+   [List.assoc] replaced by a [List.find_opt] with the element type's
+   [equal], or the concrete [equal] inside the predicate. *)
+let membership_heads =
+  [
+    "List.mem"; "List.memq"; "List.assoc"; "List.assoc_opt"; "List.mem_assoc";
+    "List.remove_assoc"; "Array.mem"; "Array.memq";
+  ]
+
+let search_heads =
+  [
+    "List.exists"; "List.find"; "List.find_opt"; "List.find_index"; "List.for_all";
+    "List.filter"; "List.partition"; "Array.exists"; "Array.for_all"; "Array.find_opt";
+  ]
+
+let head_in heads (txt : Longident.t) =
+  let name = lident_to_string txt in
+  let name =
+    if String.length name > 7 && String.sub name 0 7 = "Stdlib." then
+      String.sub name 7 (String.length name - 7)
+    else name
+  in
+  if List.exists (String.equal name) heads then Some name else None
+
+let is_literal (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true (* true/false/None/[] *)
+  | _ -> false
+
+(* [(( = ) x)] / [(( <> ) x)] with a non-literal [x]. *)
+let is_eq_section (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, x) ]) ->
+      is_eq_op txt && not (is_literal x)
+  | _ -> false
+
+(* [fun y -> a = b] (possibly through a tuple pattern) where neither
+   operand is a literal — scalar guards like [fun d -> d <> 2] stay
+   quiet. *)
+let rec is_eq_lambda (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> (
+      match body.Parsetree.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, l); (_, r) ]) ->
+          is_eq_op txt && (not (is_literal l)) && not (is_literal r)
+      | _ -> is_eq_lambda body)
+  | _ -> false
+
+let membership_finding txt args =
+  match head_in membership_heads txt with
+  | Some name -> (
+      match args with
+      | (_, key) :: _ when not (is_literal key) ->
+          Some
+            (Printf.sprintf
+               "polymorphic %s (use the element type's equal, e.g. List.exists (Int.equal k))"
+               name)
+      | _ -> None)
+  | None -> (
+      match (head_in search_heads txt, args) with
+      | Some name, (_, pred) :: _ when is_eq_section pred || is_eq_lambda pred ->
+          Some
+            (Printf.sprintf
+               "equality predicate under %s uses polymorphic ( = ) (use the element type's \
+                equal)"
+               name)
+      | _ -> None)
+
 let lint_source config ~file src =
   let findings = ref [] in
   let allow = allow_table src in
@@ -244,6 +336,10 @@ let lint_source config ~file src =
       report loc Print_stdout
         (Printf.sprintf "%s writes to stdout from library code"
            (match print_detail txt with Some s -> s | None -> lident_to_string txt));
+    (if config.check_poly then
+       match membership_finding txt args with
+       | Some detail -> report loc Poly_membership detail
+       | None -> ());
     if is_eq_op txt && List.exists (fun (_, a) -> is_float_literal a) args then
       report loc Float_eq
         (Printf.sprintf "exact float comparison (%s) against a literal"

@@ -14,6 +14,20 @@
     - [poly-eq] — [( = )], [( <> )], [( == )] or [( != )] passed as a
       function value (e.g. [~equal:( = )]).  Same scope as
       [poly-compare].
+    - [poly-membership] — structural-equality membership: [List.mem],
+      [List.memq], [List.assoc]/[assoc_opt]/[mem_assoc]/[remove_assoc],
+      [Array.mem]/[memq] applied to a non-literal key, or a search
+      combinator ([List.exists], [List.find(_opt)], [List.for_all],
+      [List.filter], [Array.exists], ...) whose predicate is an
+      equality section [(( = ) x)] or a lambda whose body is a single
+      [=]/[<>] with no literal operand.  The containers in the checked
+      directories hold group elements, [int array] tuples and oracle
+      tags, where the baked-in structural equality diverges from the
+      modules' own [equal] on non-canonical representatives — use the
+      element type's equality ([List.exists (Int.equal k) xs], a typed
+      [equal] inside the predicate) instead.  Literal keys
+      ([List.mem "all" rules]) and literal-guard lambdas
+      ([fun d -> d <> 2]) stay quiet.  Same scope as [poly-compare].
     - [struct-eq] — an applied [=]/[<>] whose two operands project the
       same shape of data: the same record field on both sides
       ([a.dims = b.dims]) or the same accessor applied on both sides
@@ -35,7 +49,14 @@
     [(* hsp-lint: allow <rule> [<rule> ...] *)] (or [allow all]) on
     line [L] or [L-1]. *)
 
-type rule = Poly_compare | Poly_eq | Struct_eq | Float_eq | Obj_magic | Print_stdout
+type rule =
+  | Poly_compare
+  | Poly_eq
+  | Poly_membership
+  | Struct_eq
+  | Float_eq
+  | Obj_magic
+  | Print_stdout
 
 val rule_name : rule -> string
 val rule_of_name : string -> rule option

@@ -52,7 +52,7 @@ let solve rng ~n (hiding : Dihedral.elt Hiding.t) =
       let scanned = scanned + n in
       match
         List.find_opt
-          (fun d' -> Hiding.eval hiding (Dihedral.reflection n d') = f1)
+          (fun d' -> Int.equal (Hiding.eval hiding (Dihedral.reflection n d')) f1)
           candidates
       with
       | Some d' -> Some { slope = d'; samples; candidates_scanned = scanned }

@@ -229,6 +229,226 @@ let solve a b =
   done;
   if !ok then Some (apply v z) else None
 
+(* --- Hermite normal form of finite-Abelian-group subgroups ------------ *)
+
+(* Subgroups of Z_{d_0} x ... x Z_{d_{r-1}} are represented by the
+   integer lattice L <= Z^r generated by their generators together with
+   diag(dims) (so L always contains d_i * e_i).  The canonical basis is
+   the row-style Hermite normal form: upper triangular, h_ii > 0,
+   h_ii | d_i, and every above-diagonal entry h_ji (j < i) reduced into
+   [0, h_ii).  Uniqueness of this form makes subgroup equality a plain
+   matrix comparison, and the triangular shape gives O(r^2) membership,
+   canonical coset representatives and uniform sampling — all without
+   ever forming the total group order as an integer.
+
+   Soundness of the entry-size control below: at any point we may
+   append a fresh copy of the generator d_j * e_j (it lies in L, and
+   adding a lattice element to the generating set never changes the
+   lattice), so reducing any working row modulo the dims is a legal
+   elementary operation.  All intermediate entries therefore stay below
+   (max dims)^2, far from overflow. *)
+
+let check_dims dims =
+  Array.iter (fun d -> if d < 1 then invalid_arg "Zmatrix: dimension < 1") dims
+
+let hnf_basis ~dims gens =
+  check_dims dims;
+  let r = Array.length dims in
+  List.iter
+    (fun g -> if Array.length g <> r then invalid_arg "Zmatrix.hnf_basis: generator arity")
+    gens;
+  let reduce_tail row lo =
+    for j = lo to r - 1 do
+      row.(j) <- Arith.emod row.(j) dims.(j)
+    done
+  in
+  let active = ref [] in
+  List.iter
+    (fun g ->
+      let row = Array.copy g in
+      reduce_tail row 0;
+      if Array.exists (fun x -> x <> 0) row then active := row :: !active)
+    gens;
+  let basis = Array.make r [||] in
+  for c = 0 to r - 1 do
+    (* Fresh diag generator: guarantees a pivot exists and h_cc | d_c. *)
+    let pivot = ref (Array.init r (fun j -> if j = c then dims.(c) else 0)) in
+    let rest = ref [] in
+    List.iter
+      (fun row ->
+        if row.(c) = 0 then begin
+          if Array.exists (fun x -> x <> 0) row then rest := row :: !rest
+        end
+        else begin
+          (* Euclid on column c between the accumulated pivot and row. *)
+          let a = ref !pivot and b = ref row in
+          while !b.(c) <> 0 do
+            let q = !a.(c) / !b.(c) in
+            if q <> 0 then
+              for j = c to r - 1 do
+                !a.(j) <- !a.(j) - (q * !b.(j))
+              done;
+            let t = !a in
+            a := !b;
+            b := t
+          done;
+          reduce_tail !a (c + 1);
+          reduce_tail !b (c + 1);
+          pivot := !a;
+          if Array.exists (fun x -> x <> 0) !b then rest := !b :: !rest
+        end)
+      !active;
+    let p = !pivot in
+    if p.(c) < 0 then
+      for j = c to r - 1 do
+        p.(j) <- -p.(j)
+      done;
+    reduce_tail p (c + 1);
+    basis.(c) <- p;
+    active := !rest
+  done;
+  (* Canonicalise: above-diagonal entries into [0, h_cc). *)
+  for c = 1 to r - 1 do
+    let h = basis.(c).(c) in
+    for i = 0 to c - 1 do
+      let x = basis.(i).(c) in
+      let q = (x - Arith.emod x h) / h in
+      if q <> 0 then
+        for j = c to r - 1 do
+          basis.(i).(j) <- basis.(i).(j) - (q * basis.(c).(j))
+        done
+    done
+  done;
+  basis
+
+let check_hnf ~dims basis =
+  let r = Array.length dims in
+  if rows basis <> r || (r > 0 && cols basis <> r) then
+    invalid_arg "Zmatrix: HNF basis shape mismatch";
+  for i = 0 to r - 1 do
+    if basis.(i).(i) < 1 || dims.(i) mod basis.(i).(i) <> 0 then
+      invalid_arg "Zmatrix: not an HNF subgroup basis"
+  done
+
+let hnf_order_log2 ~dims basis =
+  check_hnf ~dims basis;
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i d -> acc := !acc +. (log (float_of_int (d / basis.(i).(i))) /. log 2.0))
+    dims;
+  !acc
+
+let hnf_order_int ~dims basis =
+  check_hnf ~dims basis;
+  let acc = ref (Some 1) in
+  Array.iteri
+    (fun i d ->
+      let n = d / basis.(i).(i) in
+      match !acc with
+      | Some a when a <= max_int / n -> acc := Some (a * n)
+      | _ -> acc := None)
+    dims;
+  !acc
+
+let hnf_mem ~dims basis x =
+  check_hnf ~dims basis;
+  let r = Array.length dims in
+  if Array.length x <> r then invalid_arg "Zmatrix.hnf_mem: arity mismatch";
+  let t = Array.init r (fun i -> Arith.emod x.(i) dims.(i)) in
+  let ok = ref true in
+  (try
+     for i = 0 to r - 1 do
+       let h = basis.(i).(i) in
+       if t.(i) mod h <> 0 then begin
+         ok := false;
+         raise Exit
+       end;
+       let q = t.(i) / h in
+       if q <> 0 then
+         for j = i to r - 1 do
+           t.(j) <- t.(j) - (q * basis.(i).(j))
+         done;
+       (* Keep entries small: reduction mod dims preserves the coset. *)
+       for j = i + 1 to r - 1 do
+         t.(j) <- Arith.emod t.(j) dims.(j)
+       done
+     done
+   with Exit -> ());
+  !ok
+
+let hnf_reduce ~dims basis x =
+  check_hnf ~dims basis;
+  let r = Array.length dims in
+  if Array.length x <> r then invalid_arg "Zmatrix.hnf_reduce: arity mismatch";
+  let t = Array.init r (fun i -> Arith.emod x.(i) dims.(i)) in
+  for i = 0 to r - 1 do
+    let h = basis.(i).(i) in
+    let rem = Arith.emod t.(i) h in
+    let q = (t.(i) - rem) / h in
+    if q <> 0 then
+      for j = i to r - 1 do
+        t.(j) <- t.(j) - (q * basis.(i).(j))
+      done;
+    for j = i + 1 to r - 1 do
+      t.(j) <- Arith.emod t.(j) dims.(j)
+    done
+  done;
+  t
+
+let hnf_sample rng ~dims basis =
+  check_hnf ~dims basis;
+  let r = Array.length dims in
+  let x = Array.make r 0 in
+  for i = 0 to r - 1 do
+    let n = dims.(i) / basis.(i).(i) in
+    let c = Random.State.int rng n in
+    if c <> 0 then
+      for j = i to r - 1 do
+        x.(j) <- x.(j) + (c * basis.(i).(j))
+      done;
+    x.(i) <- Arith.emod x.(i) dims.(i)
+  done;
+  for j = 0 to r - 1 do
+    x.(j) <- Arith.emod x.(j) dims.(j)
+  done;
+  x
+
+let hnf_elements ~dims basis =
+  check_hnf ~dims basis;
+  let r = Array.length dims in
+  (match hnf_order_int ~dims basis with
+  | Some _ -> ()
+  | None -> invalid_arg "Zmatrix.hnf_elements: subgroup order overflows");
+  let counts = Array.init r (fun i -> dims.(i) / basis.(i).(i)) in
+  let acc = ref [] in
+  let rec go i x =
+    if i = r then
+      acc := Array.init r (fun j -> Arith.emod x.(j) dims.(j)) :: !acc
+    else
+      for c = 0 to counts.(i) - 1 do
+        if c = 0 then go (i + 1) x
+        else begin
+          let x' = Array.copy x in
+          for j = i to r - 1 do
+            x'.(j) <- x'.(j) + (c * basis.(i).(j))
+          done;
+          go (i + 1) x'
+        end
+      done
+  in
+  go 0 (Array.make r 0);
+  List.rev !acc
+
+let hnf_dual ~dims basis =
+  check_hnf ~dims basis;
+  let r = Array.length dims in
+  let l = Array.fold_left Arith.lcm 1 dims in
+  (* y annihilates the subgroup iff sum_i y_i * b_k(i) * (l / d_i) = 0
+     (mod l) for every basis row b_k. *)
+  let a = Array.init r (fun k -> Array.init r (fun i -> basis.(k).(i) * (l / dims.(i)))) in
+  let gens = kernel_mod ~moduli:(Array.make r l) a in
+  hnf_basis ~dims gens
+
 let solve_mod ~moduli a b =
   let r = rows a and c = cols a in
   if Array.length moduli <> r || Array.length b <> r then

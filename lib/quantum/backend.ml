@@ -1,17 +1,31 @@
-type choice = Dense | Sparse | Auto
+type choice = Dense | Sparse | Symbolic | Auto
 
 let choice_of_string s =
   match String.lowercase_ascii s with
   | "dense" -> Some Dense
   | "sparse" -> Some Sparse
+  | "symbolic" -> Some Symbolic
   | "auto" -> Some Auto
   | _ -> None
 
-let choice_to_string = function Dense -> "dense" | Sparse -> "sparse" | Auto -> "auto"
+let choice_to_string = function
+  | Dense -> "dense"
+  | Sparse -> "sparse"
+  | Symbolic -> "symbolic"
+  | Auto -> "auto"
 
-let dense_cap = 1 lsl 24
-(* 16M amplitudes = 256 MB of complex doubles; the dense backend's
-   memory wall, and the pivot point of Auto resolution. *)
+(* One home for every size-cap constant in the simulator.  Each cap
+   bounds a different resource, so they are deliberately distinct
+   numbers; keeping them side by side (with the consumers named) stops
+   the docs and the code drifting apart again. *)
+module Caps = struct
+  let dense_state = 1 lsl 24
+  let coset_dense = 1 lsl 22
+  let coset_sparse = 1 lsl 26
+  let symbolic_materialise = 1 lsl 20
+end
+
+let dense_cap = Caps.dense_state
 
 let env_default =
   lazy
@@ -30,6 +44,7 @@ let resolve ?backend ~total () =
   match (match backend with Some c -> c | None -> default ()) with
   | Dense -> Dense
   | Sparse -> Sparse
+  | Symbolic -> Symbolic
   | Auto -> if total <= dense_cap then Dense else Sparse
 
 let total_of dims =
@@ -39,6 +54,13 @@ let total_of dims =
       if acc > max_int / d then invalid_arg "State: register dimension overflows";
       acc * d)
     1 dims
+
+let total_of_opt dims =
+  Array.fold_left
+    (fun acc d ->
+      if d < 1 then invalid_arg "State: wire dimension < 1";
+      match acc with Some a when a <= max_int / d -> Some (a * d) | _ -> None)
+    (Some 1) dims
 
 let encode dims x =
   if Array.length x <> Array.length dims then invalid_arg "State.encode: arity mismatch";
@@ -96,27 +118,37 @@ let sample_discrete rng probs =
   else if !last_nonzero >= 0 then !last_nonzero
   else invalid_arg "Backend.sample_discrete: zero distribution"
 
-module type S = sig
+module type CORE = sig
   type t
 
   val create : int array -> t
   val of_basis : int array -> int array -> t
-  val of_amplitudes : int array -> Linalg.Cvec.t -> t
-  val of_support : int array -> (int array * Linalg.Cx.t) list -> t
+  val uniform : int array -> t
   val dims : t -> int array
   val num_wires : t -> int
-  val total_dim : t -> int
   val support_size : t -> int
+  val tensor : t -> t -> t
+  val apply_dft : t -> wire:int -> inverse:bool -> t
+  val measure : Random.State.t -> t -> wires:int list -> int array * t
+  val norm : t -> float
+end
+
+module type AMPLITUDES = sig
+  type t
+
+  val of_amplitudes : int array -> Linalg.Cvec.t -> t
+  val of_support : int array -> (int array * Linalg.Cx.t) list -> t
+  val total_dim : t -> int
   val amplitudes : t -> Linalg.Cvec.t
   val amp_at : t -> int -> Linalg.Cx.t
   val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
-  val tensor : t -> t -> t
-  val uniform : int array -> t
   val apply_wires : t -> wires:int list -> Linalg.Cmat.t -> t
-  val apply_dft : t -> wire:int -> inverse:bool -> t
   val apply_basis_map : t -> (int array -> int array) -> t
   val apply_oracle_add : t -> in_wires:int list -> out_wire:int -> f:(int array -> int) -> t
   val probabilities : t -> wires:int list -> float array
-  val measure : Random.State.t -> t -> wires:int list -> int array * t
-  val norm : t -> float
+end
+
+module type S = sig
+  include CORE
+  include AMPLITUDES with type t := t
 end

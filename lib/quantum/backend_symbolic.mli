@@ -1,0 +1,170 @@
+(** Symbolic coset-state backend: exact simulation with no amplitude
+    array and no total-dimension integer.
+
+    Every state the paper's samplers prepare is structurally trivial —
+    a coset state [|xH>], a subgroup state [|H>], or its Abelian
+    Fourier image supported on the annihilator [H^perp].  This backend
+    stores exactly that structure:
+
+    [|psi> = gphase / sqrt|H| * sum_{x in c+H} chi_p(x) |x>]
+
+    over [A = Z_{d_0} x ... x Z_{d_{r-1}}]: a subgroup [H] as a
+    canonical Hermite-normal-form basis ({!Numtheory.Zmatrix}), a coset
+    representative [c], a character vector [p] and a unit global phase.
+    The shape is closed under the operations the samplers perform:
+
+    - {e Abelian DFT} (forward, [omega^{+xy}] convention):
+      [(H, c, p) |-> (H^perp, -p, c)] with global phase [chi_c(p)] —
+      one annihilator solve (memoised per subgroup) plus an O(r)
+      relabel.  The backend API transforms wire by wire, so wires are
+      {e marked pending} and the rewrite fires when all wires have been
+      transformed in the same direction; a mid-sweep state supports
+      only further marks (the {!State} dispatcher demotes it to the
+      sparse backend for anything else).
+    - {e Measurement} of the full register: a uniform draw from the
+      coset via triangular-basis sampling — exactly uniform, so the
+      sampled character distribution matches the dense backend's in
+      law (the differential suite checks this with a chi-squared
+      gate).
+    - {e Tensoring}: block-diagonal HNF stacking.
+
+    Costs are O(r^2) per operation and O(r^2) memory — [Z_2^200]-shaped
+    groups are as cheap as [Z_2^2].  Work is charged to the {!Metrics}
+    ledger under [symbolic_rewrites], [symbolic_samples],
+    [symbolic_solves] and [symbolic_demotions].
+
+    Determinism: all structures are canonical (HNF bases, reduced
+    representatives), enumeration order is coefficient-lexicographic,
+    and a measurement consumes the RNG exactly [r] bounded draws, so
+    runs are reproducible for a fixed seed and independent of the job
+    count (no parallelism is involved at all).
+
+    This backend satisfies {!Backend.CORE} but deliberately not
+    {!Backend.AMPLITUDES}: asking for amplitude-array behaviour goes
+    through {!demote} (capped at {!Backend.Caps.symbolic_materialise})
+    in the {!State} dispatcher. *)
+
+(** Subgroups of [Z_{d_0} x ... x Z_{d_{r-1}}] in canonical HNF form,
+    with memoised annihilator.  Shared across all states drawn from one
+    sampler so the normal-form solves happen once per oracle, not once
+    per sample. *)
+module Subgroup : sig
+  type t
+
+  val of_gens : dims:int array -> int array list -> t
+  (** Canonicalise a generator list (ledger: [symbolic_solves]). *)
+
+  val trivial : int array -> t
+  val full : int array -> t
+  val dims : t -> int array
+  val basis : t -> Numtheory.Zmatrix.t
+  val order_log2 : t -> float
+  val order_int : t -> int option
+  val mem : t -> int array -> bool
+  val reduce : t -> int array -> int array
+  (** Canonical coset representative of [x + H]. *)
+
+  val sample : Random.State.t -> t -> int array
+  (** Uniform subgroup element (ledger: [symbolic_samples]). *)
+
+  val elements : t -> int array list
+  (** All elements, deterministic order.
+      @raise Invalid_argument beyond
+      {!Backend.Caps.symbolic_materialise}. *)
+
+  val equal : t -> t -> bool
+  (** Subgroup equality — exact, via canonical-basis comparison. *)
+
+  val dual : t -> t
+  (** The annihilator [H^perp]; memoised, and the memo links back so
+      [dual (dual h)] is O(1).  (Ledger: [symbolic_solves] on the first
+      call.) *)
+end
+
+type t
+
+(** {2 Constructors} *)
+
+val create : int array -> t
+val of_basis : int array -> int array -> t
+val uniform : int array -> t
+
+val of_coset : ?phase:int array -> ?gphase:Linalg.Cx.t -> Subgroup.t -> int array -> t
+(** [of_coset sub rep] is the uniform superposition over [rep + H] —
+    the state [Coset_state.sampler_with_subgroup] feeds to the Fourier
+    pass.  [phase] decorates amplitude [x] with [chi_phase(x)]
+    (default: none). *)
+
+val of_indices_opt : int array -> int array -> t option
+(** Coset recognition: adopt a strictly increasing encoded-index
+    segment iff it is exactly a coset [x0 + H] (the shape
+    [Coset_state.sampler]'s bucket tables produce), by closing the
+    member differences under HNF and comparing orders.  [None] if the
+    set is not a coset, is larger than
+    {!Backend.Caps.symbolic_materialise}, or the register's total
+    dimension is not even formable. *)
+
+val of_indices : int array -> int array -> t
+(** @raise Invalid_argument where {!of_indices_opt} is [None]. *)
+
+(** {2 Structure access} *)
+
+val dims : t -> int array
+val num_wires : t -> int
+
+val support_size : t -> int
+(** [|H|], clamped to [max_int] when it overflows. *)
+
+val subgroup : t -> Subgroup.t
+
+val has_pending : t -> bool
+(** In the middle of a per-wire Fourier sweep (some but not all wires
+    transformed)? *)
+
+(** {2 Operations} *)
+
+val tensor : t -> t -> t
+(** @raise Invalid_argument on a mid-sweep operand. *)
+
+val can_apply_dft : t -> wire:int -> inverse:bool -> bool
+(** Whether {!apply_dft} stays symbolic: true unless the wire was
+    already marked in this sweep or the direction flips mid-sweep. *)
+
+val apply_dft : t -> wire:int -> inverse:bool -> t
+(** Mark one wire; when every wire is marked the closed-form rewrite
+    fires (ledger: [symbolic_rewrites]).
+    @raise Invalid_argument where {!can_apply_dft} is false. *)
+
+val can_measure : t -> wires:int list -> bool
+(** True iff no sweep is pending and [wires] covers the register. *)
+
+val measure : Random.State.t -> t -> wires:int list -> int array * t
+(** Full-register measurement: uniform coset draw, basis post-state.
+    @raise Invalid_argument where {!can_measure} is false. *)
+
+val norm : t -> float
+(** Always [1.0] — symbolic states are unit by construction. *)
+
+(** {2 Amplitude views (small states only)} *)
+
+val amp_at_tuple : t -> int array -> Linalg.Cx.t
+val amp_at : t -> int -> Linalg.Cx.t
+
+val iter_nonzero : t -> (int -> Linalg.Cx.t -> unit) -> unit
+(** In increasing encoded-index order.
+    @raise Invalid_argument beyond
+    {!Backend.Caps.symbolic_materialise} or mid-sweep. *)
+
+val demote : t -> Backend_sparse.t
+(** Materialise into the sparse backend, replaying any pending per-wire
+    DFTs (ledger: [symbolic_demotions]).
+    @raise Invalid_argument beyond
+    {!Backend.Caps.symbolic_materialise}. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Same coset, same subgroup, and amplitudes agreeing at the
+    representative and each basis-row offset — which pins the full
+    amplitude function, since characters agreeing on generators agree
+    on the subgroup. *)
+
+val pp : Format.formatter -> t -> unit

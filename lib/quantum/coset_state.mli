@@ -6,7 +6,7 @@
     uniformly random character of [A] that is trivial on the hidden
     subgroup [ker/period of f].
 
-    Three implementations are provided:
+    Four implementations are provided:
 
     - {!sample} / {!sampler} — the production fast path.  It measures
       the function register {e first} (deferred-measurement principle:
@@ -28,6 +28,15 @@
       and no O(|A|) pass at all; groups far beyond
       {!max_group_size_sparse} become simulable when cosets and their
       Fourier supports are small.
+    - {!sampler_with_subgroup} — the cryptographic-scale path.  The
+      caller supplies the hidden subgroup as a {e generator list}; the
+      symbolic backend ({!Backend_symbolic}) then runs the whole
+      round — coset state, full Fourier sweep, measurement — in closed
+      form, O(r^2) per sample with no cap of any kind, so groups of
+      order 2^100 and far beyond sample in microseconds.  Explicit
+      dense/sparse backends enumerate the coset instead and serve as
+      differential oracles for the symbolic distribution (the bench E13
+      chi-squared gate).
     - {!sample_full} — the reference implementation on the full tensor
       product, used by tests to validate {!sample}; dense O(|A|)
       throughout, capped at {!max_group_size}.
@@ -41,13 +50,15 @@
     ({!Backend.default}) applies. *)
 
 val max_group_size : int
-(** Group-size cap of {!sampler} / {!sample_full} on the dense backend
-    (2^22): these paths materialise O(|A|) amplitudes. *)
+(** Group-size cap of {!sampler} / {!sample_full} on the dense backend:
+    these paths materialise O(|A|) amplitudes.  Alias of
+    {!Backend.Caps.coset_dense} (2^22). *)
 
 val max_group_size_sparse : int
-(** Group-size cap of {!sampler} on the sparse backend (2^26): the
-    amplitudes stay O(|coset|), so the bound is only the flat
-    tag/bucket tables of the shared prep pass. *)
+(** Group-size cap of {!sampler} on the sparse and symbolic backends:
+    the amplitudes stay O(|coset|), so the bound is only the flat
+    tag/bucket tables of the shared prep pass.  Alias of
+    {!Backend.Caps.coset_sparse} (2^26). *)
 
 val sample :
   Random.State.t -> dims:int array -> f:(int array -> int) -> queries:Query.t -> int array
@@ -96,6 +107,38 @@ val sample_with_support :
   unit ->
   int array
 (** One-shot form of {!sampler_with_support}. *)
+
+val sampler_with_subgroup :
+  ?backend:Backend.choice ->
+  dims:int array ->
+  subgroup:int array list ->
+  queries:Query.t ->
+  unit ->
+  Random.State.t -> int array
+(** Like {!sampler_with_support}, but the simulator is given the hidden
+    subgroup as a generator list and never enumerates anything: one
+    round builds [|x0 + H>] symbolically from a uniform representative,
+    Fourier-transforms it by the closed-form rewrite and measures by
+    uniform annihilator sampling — O(r^2) per round for
+    [A = Z_{d_1} x ... x Z_{d_r}] of arbitrary order.  The subgroup is
+    canonicalised once per sampler and its annihilator solve is
+    memoised, so rounds contain no normal-form work (ledger:
+    [symbolic_solves] stays at 2 per oracle).  An omitted/[Auto]
+    backend means symbolic here (supplying subgroup structure is the
+    opt-in); explicit [Dense]/[Sparse] enumerate the coset, subject to
+    {!Backend.Caps.symbolic_materialise}, as differential oracles.
+    Query accounting is identical to {!sampler}: one quantum query per
+    round. *)
+
+val sample_with_subgroup :
+  Random.State.t ->
+  ?backend:Backend.choice ->
+  dims:int array ->
+  subgroup:int array list ->
+  queries:Query.t ->
+  unit ->
+  int array
+(** One-shot form of {!sampler_with_subgroup}. *)
 
 val sample_full :
   Random.State.t ->

@@ -22,6 +22,10 @@ type snapshot = {
   compactions : int;
   sampler_preps : int;
   coset_visits : int;
+  symbolic_rewrites : int;
+  symbolic_samples : int;
+  symbolic_solves : int;
+  symbolic_demotions : int;
   phases : (string * float) list;
 }
 
@@ -44,6 +48,10 @@ let peak_dense_alloc = Atomic.make 0
 let compactions = Atomic.make 0
 let sampler_preps = Atomic.make 0
 let coset_visits = Atomic.make 0
+let symbolic_rewrites = Atomic.make 0
+let symbolic_samples = Atomic.make 0
+let symbolic_solves = Atomic.make 0
+let symbolic_demotions = Atomic.make 0
 
 let tick c = ignore (Atomic.fetch_and_add c 1)
 let add c n = ignore (Atomic.fetch_and_add c n)
@@ -72,6 +80,10 @@ let reset () =
   Atomic.set compactions 0;
   Atomic.set sampler_preps 0;
   Atomic.set coset_visits 0;
+  Atomic.set symbolic_rewrites 0;
+  Atomic.set symbolic_samples 0;
+  Atomic.set symbolic_solves 0;
+  Atomic.set symbolic_demotions 0;
   phase_order := [];
   Hashtbl.reset phase_seconds
 
@@ -91,6 +103,10 @@ let snapshot () =
     compactions = Atomic.get compactions;
     sampler_preps = Atomic.get sampler_preps;
     coset_visits = Atomic.get coset_visits;
+    symbolic_rewrites = Atomic.get symbolic_rewrites;
+    symbolic_samples = Atomic.get symbolic_samples;
+    symbolic_solves = Atomic.get symbolic_solves;
+    symbolic_demotions = Atomic.get symbolic_demotions;
     phases =
       List.rev_map
         (fun name -> (name, Option.value ~default:0.0 (Hashtbl.find_opt phase_seconds name)))
@@ -111,6 +127,10 @@ let record_dense_alloc total = raise_to peak_dense_alloc total
 let record_compaction () = tick compactions
 let record_sampler_prep () = tick sampler_preps
 let add_coset_visits n = add coset_visits n
+let record_symbolic_rewrite () = tick symbolic_rewrites
+let record_symbolic_sample () = tick symbolic_samples
+let record_symbolic_solve () = tick symbolic_solves
+let record_symbolic_demotion () = tick symbolic_demotions
 
 (* ------------------------------------------------------------------ *)
 (* Structured trace events                                             *)
@@ -160,6 +180,10 @@ let to_fields s =
     ("compactions", string_of_int s.compactions);
     ("sampler_preps", string_of_int s.sampler_preps);
     ("coset_visits", string_of_int s.coset_visits);
+    ("symbolic_rewrites", string_of_int s.symbolic_rewrites);
+    ("symbolic_samples", string_of_int s.symbolic_samples);
+    ("symbolic_solves", string_of_int s.symbolic_solves);
+    ("symbolic_demotions", string_of_int s.symbolic_demotions);
   ]
   @ List.map (fun (name, sec) -> ("sec_" ^ name, Printf.sprintf "%.6f" sec)) s.phases
 
@@ -177,6 +201,10 @@ let pp fmt s =
   Format.fprintf fmt "  segment compactions : %d@," s.compactions;
   Format.fprintf fmt "  sampler prep passes : %d@," s.sampler_preps;
   Format.fprintf fmt "  coset members visited : %d@," s.coset_visits;
+  Format.fprintf fmt "  symbolic DFT rewrites : %d@," s.symbolic_rewrites;
+  Format.fprintf fmt "  symbolic subgroup draws : %d@," s.symbolic_samples;
+  Format.fprintf fmt "  symbolic normal-form solves : %d@," s.symbolic_solves;
+  Format.fprintf fmt "  symbolic demotions  : %d@," s.symbolic_demotions;
   List.iter
     (fun (name, sec) -> Format.fprintf fmt "  phase %-11s : %.6fs@," name sec)
     s.phases;

@@ -57,6 +57,21 @@ type snapshot = {
       (** coset members visited while building sampled coset states —
           the per-sample work of [Coset_state.sampler] after the shared
           prep pass, O(|coset|) per round *)
+  symbolic_rewrites : int;
+      (** closed-form full-register DFT rewrites performed by
+          [Backend_symbolic]: [|xH> -> phase-decorated uniform on
+          H^perp], O(1) states rewritten per Fourier pass *)
+  symbolic_samples : int;
+      (** uniform subgroup-element draws performed by the symbolic
+          backend's measurement (one per measured state) *)
+  symbolic_solves : int;
+      (** Hermite/Smith normal-form computations charged to the
+          symbolic backend: subgroup canonicalisation and annihilator
+          (dual) solves *)
+  symbolic_demotions : int;
+      (** symbolic states materialised into the sparse backend because
+          an amplitude-level operation was requested (see
+          [Backend.Caps.symbolic_materialise]) *)
   phases : (string * float) list;
       (** accumulated wall-clock seconds per phase, first-seen order *)
 }
@@ -91,6 +106,19 @@ val record_sampler_prep : unit -> unit
 
 val add_coset_visits : int -> unit
 (** Coset members visited while building one sampled coset state. *)
+
+val record_symbolic_rewrite : unit -> unit
+(** One closed-form DFT rewrite in [Backend_symbolic]. *)
+
+val record_symbolic_sample : unit -> unit
+(** One uniform subgroup-element draw (symbolic measurement). *)
+
+val record_symbolic_solve : unit -> unit
+(** One HNF/SNF normal-form computation (subgroup canonicalisation or
+    annihilator solve) in the symbolic backend. *)
+
+val record_symbolic_demotion : unit -> unit
+(** One symbolic state materialised into the sparse backend. *)
 
 (** {2 Structured trace events} *)
 

@@ -253,6 +253,33 @@ let test_lint_poly_eq () =
     (List.mem Lint.Poly_eq (rules_of strict "let f xs = List.mem ( = ) xs"));
   checkb "applied int eq ok" true (rules_of strict "let f (a : int) b = a = b" = [])
 
+let test_lint_poly_membership () =
+  checkb "List.mem" true
+    (List.mem Lint.Poly_membership (rules_of strict "let f k xs = List.mem k xs"));
+  checkb "List.assoc" true
+    (List.mem Lint.Poly_membership (rules_of strict "let f k xs = List.assoc k xs"));
+  checkb "List.mem_assoc" true
+    (List.mem Lint.Poly_membership (rules_of strict "let f k xs = List.mem_assoc k xs"));
+  checkb "eq section" true
+    (List.mem Lint.Poly_membership (rules_of strict "let f k xs = List.exists (( = ) k) xs"));
+  checkb "eq lambda" true
+    (List.mem Lint.Poly_membership
+       (rules_of strict "let f t xs = List.filter (fun x -> g x = t) xs"));
+  checkb "eq lambda for_all" true
+    (List.mem Lint.Poly_membership
+       (rules_of strict "let f y xs = List.for_all (fun x -> x <> y) xs"));
+  checkb "literal key ok" true
+    (rules_of strict "let f xs = List.mem \"all\" xs" = []);
+  checkb "literal-guard lambda ok" true
+    (rules_of strict "let f xs = List.exists (fun d -> d <> 2) xs" = []);
+  checkb "typed equal ok" true
+    (rules_of strict "let f k xs = List.exists (Int.equal k) xs" = []);
+  checkb "non-eq predicate ok" true
+    (rules_of strict "let f p xs = List.find_opt (fun x -> p x) xs" = []);
+  checkb "scoped off" true (rules_of lenient "let f k xs = List.mem k xs" = []);
+  checkb "allow comment" true
+    (rules_of strict "(* hsp-lint: allow poly-membership *)\nlet f k xs = List.mem k xs" = [])
+
 let test_lint_float_eq () =
   checkb "float literal" true (List.mem Lint.Float_eq (rules_of strict "let f x = x = 1.0"));
   checkb "also when scoped off" true
@@ -311,8 +338,8 @@ let test_lint_rule_names_roundtrip () =
       | Some r' -> checkb "roundtrip" true (r = r')
       | None -> Alcotest.failf "rule name %s does not parse" (Lint.rule_name r))
     [
-      Lint.Poly_compare; Lint.Poly_eq; Lint.Struct_eq; Lint.Float_eq; Lint.Obj_magic;
-      Lint.Print_stdout;
+      Lint.Poly_compare; Lint.Poly_eq; Lint.Poly_membership; Lint.Struct_eq; Lint.Float_eq;
+      Lint.Obj_magic; Lint.Print_stdout;
     ]
 
 let () =
@@ -353,6 +380,7 @@ let () =
           Alcotest.test_case "poly-compare" `Quick test_lint_poly_compare;
           Alcotest.test_case "array element" `Quick test_lint_array_element;
           Alcotest.test_case "poly-eq" `Quick test_lint_poly_eq;
+          Alcotest.test_case "poly-membership" `Quick test_lint_poly_membership;
           Alcotest.test_case "float-eq" `Quick test_lint_float_eq;
           Alcotest.test_case "obj-magic" `Quick test_lint_obj_magic;
           Alcotest.test_case "print-stdout" `Quick test_lint_print_stdout;

@@ -322,6 +322,152 @@ let test_solve_mod () =
   checkb "no sol" true (Zmatrix.solve_mod ~moduli:[| 9 |] a [| 1 |] = None)
 
 (* ------------------------------------------------------------------ *)
+(* HNF subgroup calculus                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Brute-force closure of [gens] in Z_dims under addition, as a sorted
+   list of tuples — the reference the HNF calculus is checked against
+   on enumerable groups. *)
+let brute_closure ~dims gens =
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add x y = Array.init (Array.length dims) (fun i -> (x.(i) + y.(i)) mod dims.(i)) in
+  let zero = Array.make (Array.length dims) 0 in
+  Hashtbl.replace seen (Array.to_list zero) ();
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | x :: rest ->
+        let nexts =
+          List.filter (fun y -> not (Hashtbl.mem seen (Array.to_list y))) (List.map (add x) gens)
+        in
+        List.iter (fun y -> Hashtbl.replace seen (Array.to_list y) ()) nexts;
+        go (nexts @ rest)
+  in
+  go [ zero ];
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let test_hnf_vs_brute () =
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 40 do
+    let r = 1 + Random.State.int rng 3 in
+    let dims = Array.init r (fun _ -> [| 2; 3; 4; 6; 8 |].(Random.State.int rng 5)) in
+    let gens =
+      List.init (1 + Random.State.int rng 3) (fun _ ->
+          Array.init r (fun i -> Random.State.int rng dims.(i)))
+    in
+    let b = Zmatrix.hnf_basis ~dims gens in
+    let closure = brute_closure ~dims gens in
+    (* order matches the closure *)
+    (match Zmatrix.hnf_order_int ~dims b with
+    | Some o -> check "order" (List.length closure) o
+    | None -> Alcotest.fail "order overflow on a tiny group");
+    checkb "order log2" true
+      (Float.abs
+         (Zmatrix.hnf_order_log2 ~dims b -. (log (float_of_int (List.length closure)) /. log 2.))
+      < 1e-9);
+    (* membership agrees pointwise over the whole ambient group *)
+    let total = Array.fold_left ( * ) 1 dims in
+    for idx = 0 to total - 1 do
+      let x =
+        let t = Array.make r 0 in
+        let rec fill i v =
+          if i >= 0 then begin
+            t.(i) <- v mod dims.(i);
+            fill (i - 1) (v / dims.(i))
+          end
+        in
+        fill (r - 1) idx;
+        t
+      in
+      checkb "mem" (List.mem (Array.to_list x) closure) (Zmatrix.hnf_mem ~dims b x)
+    done;
+    (* elements enumerates exactly the closure *)
+    let elems = List.sort compare (List.map Array.to_list (Zmatrix.hnf_elements ~dims b)) in
+    checkb "elements" true (elems = closure)
+  done
+
+let test_hnf_reduce_canonical () =
+  let rng = Random.State.make [| 12 |] in
+  let dims = [| 4; 6; 8 |] in
+  let gens = [ [| 2; 0; 0 |]; [| 0; 3; 2 |] ] in
+  let b = Zmatrix.hnf_basis ~dims gens in
+  for _ = 1 to 200 do
+    let x = Array.map (fun d -> Random.State.int rng d) dims in
+    let h = Zmatrix.hnf_sample rng ~dims b in
+    let y = Array.init 3 (fun i -> (x.(i) + h.(i)) mod dims.(i)) in
+    (* same coset -> same canonical representative; the representative
+       itself is in the coset of x *)
+    let rx = Zmatrix.hnf_reduce ~dims b x and ry = Zmatrix.hnf_reduce ~dims b y in
+    checkb "same rep" true (Array.to_list rx = Array.to_list ry);
+    let diff = Array.init 3 (fun i -> (x.(i) - rx.(i) + dims.(i)) mod dims.(i)) in
+    checkb "rep in coset" true (Zmatrix.hnf_mem ~dims b diff)
+  done
+
+let test_hnf_sample_uniform () =
+  let rng = Random.State.make [| 13 |] in
+  let dims = [| 4; 6 |] in
+  let gens = [ [| 2; 3 |] ] in
+  let b = Zmatrix.hnf_basis ~dims gens in
+  let order = Option.get (Zmatrix.hnf_order_int ~dims b) in
+  let n = 2000 in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to n do
+    let x = Array.to_list (Zmatrix.hnf_sample rng ~dims b) in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x));
+    checkb "sample in subgroup" true (Zmatrix.hnf_mem ~dims b (Array.of_list x))
+  done;
+  check "hits every element" order (Hashtbl.length counts);
+  let expected = float_of_int n /. float_of_int order in
+  Hashtbl.iter
+    (fun _ c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      checkb "roughly uniform" true (dev < 0.5))
+    counts
+
+let test_hnf_dual () =
+  let rng = Random.State.make [| 14 |] in
+  for _ = 1 to 30 do
+    let r = 1 + Random.State.int rng 3 in
+    let dims = Array.init r (fun _ -> [| 2; 3; 4; 6 |].(Random.State.int rng 4)) in
+    let gens =
+      List.init (1 + Random.State.int rng 2) (fun _ ->
+          Array.init r (fun i -> Random.State.int rng dims.(i)))
+    in
+    let b = Zmatrix.hnf_basis ~dims gens in
+    let d = Zmatrix.hnf_dual ~dims b in
+    (* |H| * |H^perp| = |G| *)
+    let total = Array.fold_left ( * ) 1 dims in
+    check "order product"
+      total
+      (Option.get (Zmatrix.hnf_order_int ~dims b) * Option.get (Zmatrix.hnf_order_int ~dims d));
+    (* every pair (h, y) pairs trivially *)
+    List.iter
+      (fun h ->
+        List.iter
+          (fun y ->
+            let s = ref 0 in
+            let l = Array.fold_left Arith.lcm 1 dims in
+            Array.iteri (fun i hi -> s := !s + (hi * y.(i) * (l / dims.(i)))) h;
+            check "character trivial" 0 (Arith.emod !s l))
+          (Zmatrix.hnf_elements ~dims d))
+      (Zmatrix.hnf_elements ~dims b);
+    (* dual of dual is the original (canonical forms are equal) *)
+    checkb "dual involutive" true (Zmatrix.equal (Zmatrix.hnf_dual ~dims d) b)
+  done
+
+let test_hnf_large () =
+  (* Z_2^200: orders and membership without ever forming |G| *)
+  let dims = Array.make 200 2 in
+  let gens = List.init 100 (fun i -> Array.init 200 (fun j -> if j = 2 * i || j = 2 * i + 1 then 1 else 0)) in
+  let b = Zmatrix.hnf_basis ~dims gens in
+  checkb "order log2 = 100" true (Float.abs (Zmatrix.hnf_order_log2 ~dims b -. 100.) < 1e-9);
+  checkb "order int overflows" true (Zmatrix.hnf_order_int ~dims b = None);
+  checkb "generator member" true (Zmatrix.hnf_mem ~dims b (List.hd gens));
+  checkb "non-member" false (Zmatrix.hnf_mem ~dims b (Array.init 200 (fun j -> if j = 0 then 1 else 0)));
+  let d = Zmatrix.hnf_dual ~dims b in
+  checkb "dual order log2 = 100" true (Float.abs (Zmatrix.hnf_order_log2 ~dims d -. 100.) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -340,7 +486,11 @@ let qcheck_props =
         (a * x) + (b * y) = g && g = Arith.gcd a b);
     Test.make ~name:"powmod matches pow" ~count:300
       (triple (int_range 0 20) (int_range 0 10) (int_range 1 1000))
-      (fun (b, e, m) -> Arith.powmod b e m = Arith.pow b e mod m);
+      (fun (b, e, m) ->
+        (* qcheck's int_range shrinker can step below the lower bound
+           (to 0), so keep the modulus valid rather than divide by it. *)
+        let m = max 1 m in
+        Arith.powmod b e m = Arith.pow b e mod m);
     Test.make ~name:"invmod inverse" ~count:500
       (pair (int_range 1 500) (int_range 2 500))
       (fun (a, m) ->
@@ -414,6 +564,14 @@ let () =
           Alcotest.test_case "solve" `Quick test_solve;
           Alcotest.test_case "solve random" `Quick test_solve_random;
           Alcotest.test_case "solve mod" `Quick test_solve_mod;
+        ] );
+      ( "hnf",
+        [
+          Alcotest.test_case "vs brute-force closure" `Quick test_hnf_vs_brute;
+          Alcotest.test_case "reduce canonical" `Quick test_hnf_reduce_canonical;
+          Alcotest.test_case "sample uniform" `Quick test_hnf_sample_uniform;
+          Alcotest.test_case "dual" `Quick test_hnf_dual;
+          Alcotest.test_case "Z_2^200 scale" `Quick test_hnf_large;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_props);
     ]

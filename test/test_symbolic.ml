@@ -1,0 +1,411 @@
+(* Tests for the symbolic coset-state backend and the subgroup-level
+   sampling pipeline: closed-form DFT rewrite vs the dense backend,
+   coset recognition, demotion equivalence, annihilator_subgroup edge
+   cases, and the chi-squared differential gate between symbolic and
+   amplitude-level sampling. *)
+
+open Quantum
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let rng () = Random.State.make [| 0xc0517 |]
+
+let all_wires dims = List.init (Array.length dims) (fun i -> i)
+
+(* Brute-force closure of [gens] in Z_dims under addition, as a sorted
+   list of element lists. *)
+let brute_closure ~dims gens =
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add x y = Array.init (Array.length dims) (fun i -> (x.(i) + y.(i)) mod dims.(i)) in
+  let zero = Array.make (Array.length dims) 0 in
+  Hashtbl.replace seen (Array.to_list zero) ();
+  let rec go = function
+    | [] -> ()
+    | x :: rest ->
+        let nexts =
+          List.filter (fun y -> not (Hashtbl.mem seen (Array.to_list y))) (List.map (add x) gens)
+        in
+        List.iter (fun y -> Hashtbl.replace seen (Array.to_list y) ()) nexts;
+        go (nexts @ rest)
+  in
+  go [ zero ];
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let random_gens st ~dims ~count =
+  List.init count (fun _ -> Array.map (fun d -> Random.State.int st d) dims)
+
+(* ------------------------------------------------------------------ *)
+(* Subgroup calculus                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_subgroup_basics () =
+  let dims = [| 4; 6 |] in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims [ [| 2; 3 |] ] in
+  (match Backend_symbolic.Subgroup.order_int sub with
+  | Some o -> checki "order" (List.length (brute_closure ~dims [ [| 2; 3 |] ])) o
+  | None -> Alcotest.fail "tiny order overflowed");
+  checkb "mem" true (Backend_symbolic.Subgroup.mem sub [| 2; 3 |]);
+  checkb "not mem" false (Backend_symbolic.Subgroup.mem sub [| 1; 0 |]);
+  let t = Backend_symbolic.Subgroup.trivial dims in
+  let f = Backend_symbolic.Subgroup.full dims in
+  checkb "trivial order" true (Backend_symbolic.Subgroup.order_int t = Some 1);
+  checkb "full order" true (Backend_symbolic.Subgroup.order_int f = Some 24);
+  (* dual flips trivial and full, and is involutive *)
+  checkb "dual of trivial = full" true
+    (Backend_symbolic.Subgroup.equal (Backend_symbolic.Subgroup.dual t) f);
+  checkb "dual of full = trivial" true
+    (Backend_symbolic.Subgroup.equal (Backend_symbolic.Subgroup.dual f) t);
+  checkb "dual involutive" true
+    (Backend_symbolic.Subgroup.equal (Backend_symbolic.Subgroup.dual (Backend_symbolic.Subgroup.dual sub)) sub)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form DFT rewrite vs the dense backend                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance test of the whole rewrite algebra: |rep + H> built
+   symbolically and densely, pushed through the same full Fourier
+   sweep, must be the same vector — global phase included, both
+   directions. *)
+let test_rewrite_matches_dense () =
+  let st = rng () in
+  for _ = 1 to 25 do
+    let r = 1 + Random.State.int st 3 in
+    let dims = Array.init r (fun _ -> [| 2; 3; 4; 6 |].(Random.State.int st 4)) in
+    let gens = random_gens st ~dims ~count:(1 + Random.State.int st 2) in
+    let sub = Backend_symbolic.Subgroup.of_gens ~dims gens in
+    let rep = Array.map (fun d -> Random.State.int st d) dims in
+    let sym = State.of_coset ~backend:Backend.Symbolic sub ~rep in
+    let den = State.of_coset ~backend:Backend.Dense sub ~rep in
+    checkb "construction agrees" true (State.approx_equal ~eps:1e-9 sym den);
+    let wires = all_wires dims in
+    let sym_f = Qft.forward sym ~wires and den_f = Qft.forward den ~wires in
+    checkb "stays symbolic" true (State.backend sym_f = Backend.Symbolic);
+    checkb "forward DFT agrees" true (State.approx_equal ~eps:1e-9 sym_f den_f);
+    let sym_b = Qft.backward sym ~wires and den_b = Qft.backward den ~wires in
+    checkb "inverse DFT agrees" true (State.approx_equal ~eps:1e-9 sym_b den_b);
+    (* round trip comes back to the coset state *)
+    checkb "round trip" true (State.approx_equal ~eps:1e-9 (Qft.backward sym_f ~wires) sym)
+  done
+
+let test_rewrite_ledger () =
+  Metrics.reset ();
+  let dims = [| 2; 2; 2 |] in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims [ [| 1; 1; 0 |] ] in
+  let sym = State.of_coset ~backend:Backend.Symbolic sub ~rep:[| 0; 1; 0 |] in
+  let _ = Qft.forward sym ~wires:(all_wires dims) in
+  let snap = Metrics.snapshot () in
+  checki "one rewrite per full sweep" 1 snap.Metrics.symbolic_rewrites;
+  checkb "no demotion" true (snap.Metrics.symbolic_demotions = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Coset recognition (of_indices)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_indices_recognition () =
+  let dims = [| 4; 6 |] in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims [ [| 2; 3 |]; [| 0; 2 |] ] in
+  let rep = [| 1; 1 |] in
+  let idxs =
+    Backend_symbolic.Subgroup.elements sub
+    |> List.map (fun h ->
+           State.encode dims (Array.init 2 (fun i -> (rep.(i) + h.(i)) mod dims.(i))))
+    |> List.sort_uniq Int.compare
+    |> Array.of_list
+  in
+  let st = State.of_indices ~backend:Backend.Symbolic dims idxs in
+  checkb "coset recognised" true (State.backend st = Backend.Symbolic);
+  checkb "matches sparse" true
+    (State.approx_equal ~eps:1e-12 st (State.of_indices ~backend:Backend.Sparse dims idxs));
+  (* a non-coset set falls back to sparse *)
+  let bad = State.of_indices ~backend:Backend.Symbolic dims [| 0; 1; 5 |] in
+  checkb "non-coset falls back" true (State.backend bad = Backend.Sparse)
+
+(* ------------------------------------------------------------------ *)
+(* Demotion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_demotion_equivalence () =
+  Metrics.reset ();
+  let dims = [| 4; 4 |] in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims [ [| 2; 1 |] ] in
+  let rep = [| 1; 0 |] in
+  let sym = State.of_coset ~backend:Backend.Symbolic sub ~rep in
+  let den = State.of_coset ~backend:Backend.Dense sub ~rep in
+  (* an amplitude-level op on a symbolic state demotes and still agrees *)
+  let f x = (x.(0) + x.(1)) mod 4 in
+  let sym' = State.apply_oracle_add (State.tensor sym (State.create ~backend:Backend.Symbolic [| 4 |]))
+      ~in_wires:[ 0; 1 ] ~out_wire:2 ~f
+  in
+  let den' = State.apply_oracle_add (State.tensor den (State.create ~backend:Backend.Dense [| 4 |]))
+      ~in_wires:[ 0; 1 ] ~out_wire:2 ~f
+  in
+  checkb "demoted state agrees" true (State.approx_equal ~eps:1e-9 sym' den');
+  checkb "demotion counted" true ((Metrics.snapshot ()).Metrics.symbolic_demotions >= 1);
+  (* a partial measurement also demotes; the marginal matches *)
+  let p_sym = State.probabilities sym ~wires:[ 0 ] in
+  let p_den = State.probabilities den ~wires:[ 0 ] in
+  Array.iteri
+    (fun i p -> checkb "marginal" true (Float.abs (p -. p_den.(i)) < 1e-9))
+    p_sym
+
+let test_mid_sweep_demotion () =
+  (* DFT on a strict subset of wires, then measurement: the pending
+     marks must replay correctly through the demotion. *)
+  let dims = [| 2; 2; 2 |] in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims [ [| 1; 0; 1 |] ] in
+  let sym = State.of_coset ~backend:Backend.Symbolic sub ~rep:[| 0; 1; 0 |] in
+  let den = State.of_coset ~backend:Backend.Dense sub ~rep:[| 0; 1; 0 |] in
+  let sym' = Qft.forward sym ~wires:[ 0; 2 ] in
+  let den' = Qft.forward den ~wires:[ 0; 2 ] in
+  checkb "partial sweep agrees" true (State.approx_equal ~eps:1e-9 sym' den')
+
+(* ------------------------------------------------------------------ *)
+(* Measurement law                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_deterministic () =
+  let dims = [| 3; 4; 5 |] in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims [ [| 1; 2; 0 |]; [| 0; 0; 1 |] ] in
+  let sym = State.of_coset ~backend:Backend.Symbolic sub ~rep:[| 2; 1; 3 |] in
+  let a = State.measure_all (Random.State.make [| 42 |]) sym in
+  let b = State.measure_all (Random.State.make [| 42 |]) sym in
+  checkb "same seed, same outcome" true (Array.to_list a = Array.to_list b);
+  (* outcome lies in the coset *)
+  let diff = Array.init 3 (fun i -> (a.(i) - 2 + dims.(i) * 2) mod dims.(i)) in
+  ignore diff;
+  let d = Array.init 3 (fun i -> (a.(i) + dims.(i) - [| 2; 1; 3 |].(i)) mod dims.(i)) in
+  checkb "outcome in coset" true (Backend_symbolic.Subgroup.mem sub d)
+
+(* Exact-frequency comparison of the measurement distribution on a
+   small group: symbolic Fourier sampling vs the dense pipeline, same
+   empirical counts gate via a two-sample chi-squared statistic. *)
+let chi2_two_sample tally_a tally_b =
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tally_a;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tally_b;
+  let stat = ref 0.0 and cells = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      incr cells;
+      let a = float_of_int (Option.value ~default:0 (Hashtbl.find_opt tally_a k)) in
+      let b = float_of_int (Option.value ~default:0 (Hashtbl.find_opt tally_b k)) in
+      stat := !stat +. (((a -. b) ** 2.0) /. (a +. b)))
+    keys;
+  (!stat, !cells)
+
+let tally ~dims draw st n =
+  let h = Hashtbl.create 64 in
+  for _ = 1 to n do
+    let y = draw st in
+    let k = State.encode dims y in
+    Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k))
+  done;
+  h
+
+let test_sampler_differential () =
+  let st = rng () in
+  let cases =
+    [
+      ([| 4; 6; 8 |], [ [| 2; 0; 0 |]; [| 0; 3; 2 |] ]);
+      ([| 2; 2; 2; 2 |], [ [| 1; 1; 0; 0 |]; [| 0; 0; 1; 1 |] ]);
+      ([| 9; 3 |], [ [| 3; 1 |] ]);
+    ]
+  in
+  List.iter
+    (fun (dims, gens) ->
+      let n = 3000 in
+      let qs = Query.create () and qd = Query.create () in
+      let ds = Coset_state.sampler_with_subgroup ~backend:Backend.Symbolic ~dims ~subgroup:gens ~queries:qs () in
+      let dd = Coset_state.sampler_with_subgroup ~backend:Backend.Dense ~dims ~subgroup:gens ~queries:qd () in
+      let ts = tally ~dims ds st n and td = tally ~dims dd st n in
+      (* identical supports: both are exactly the annihilator *)
+      checki "same support" (Hashtbl.length ts) (Hashtbl.length td);
+      let sub = Backend_symbolic.Subgroup.of_gens ~dims gens in
+      let dual = Backend_symbolic.Subgroup.dual sub in
+      Hashtbl.iter
+        (fun k _ -> checkb "outcome in dual" true
+            (Backend_symbolic.Subgroup.mem dual (State.decode dims k)))
+        ts;
+      (* same law: two-sample chi-squared below a generous threshold *)
+      let stat, cells = chi2_two_sample ts td in
+      let df = float_of_int (max 1 (cells - 1)) in
+      let threshold = df +. (6.0 *. sqrt (2.0 *. df)) +. 10.0 in
+      if stat > threshold then
+        Alcotest.failf "chi2 %.1f over %d cells exceeds %.1f" stat cells threshold;
+      checki "one query per sample" n (Query.count qs))
+    cases
+
+(* The same gate as a qcheck property over random small instances. *)
+let qcheck_differential =
+  let open QCheck in
+  let gen_case =
+    let open Gen in
+    let* r = int_range 1 3 in
+    let* dims = array_repeat r (oneofl [ 2; 3; 4; 6 ]) in
+    let* k = int_range 1 2 in
+    let* gens = list_repeat k (array_size (return r) (int_bound 5)) in
+    let gens = List.map (fun g -> Array.mapi (fun i v -> v mod dims.(i)) g) gens in
+    let* seed = int_bound 10_000 in
+    return (dims, gens, seed)
+  in
+  Test.make ~name:"symbolic vs dense sampling law" ~count:15
+    (make gen_case)
+    (fun (dims, gens, seed) ->
+      let st = Random.State.make [| seed |] in
+      let n = 800 in
+      let qs = Query.create () and qd = Query.create () in
+      let ds = Coset_state.sampler_with_subgroup ~backend:Backend.Symbolic ~dims ~subgroup:gens ~queries:qs () in
+      let dd = Coset_state.sampler_with_subgroup ~backend:Backend.Dense ~dims ~subgroup:gens ~queries:qd () in
+      let ts = tally ~dims ds st n and td = tally ~dims dd st n in
+      let stat, cells = chi2_two_sample ts td in
+      let df = float_of_int (max 1 (cells - 1)) in
+      Hashtbl.length ts = Hashtbl.length td && stat < df +. (7.0 *. sqrt (2.0 *. df)) +. 15.0)
+
+(* ------------------------------------------------------------------ *)
+(* annihilator_subgroup edge cases                                    *)
+(* ------------------------------------------------------------------ *)
+
+let closure_of_gens ~dims gens = brute_closure ~dims gens
+
+let test_annihilator_trivial_subgroup () =
+  (* Hidden subgroup trivial: the sampler sees every character, so the
+     annihilator of a spanning sample set is the trivial subgroup. *)
+  let dims = [| 4; 3 |] in
+  let ys = [ [| 1; 0 |]; [| 0; 1 |] ] in
+  let gens = Coset_state.annihilator_subgroup ~dims ys in
+  checki "annihilator trivial" 1 (List.length (closure_of_gens ~dims gens))
+
+let test_annihilator_full_group () =
+  (* Hidden subgroup = G: every sample is the zero character and the
+     annihilator is all of G. *)
+  let dims = [| 4; 3 |] in
+  let ys = [ [| 0; 0 |]; [| 0; 0 |] ] in
+  let gens = Coset_state.annihilator_subgroup ~dims ys in
+  checki "annihilator full" 12 (List.length (closure_of_gens ~dims gens));
+  (* and with no samples at all *)
+  let gens = Coset_state.annihilator_subgroup ~dims [] in
+  checki "no samples -> full" 12 (List.length (closure_of_gens ~dims gens))
+
+let test_annihilator_mixed_dims_brute () =
+  (* Non-square mixed prime-power dims: agreement with the brute-force
+     character kernel, including that every returned generator pairs
+     trivially with every sample. *)
+  let st = rng () in
+  let dims = [| 4; 3; 9; 2 |] in
+  let l = Array.fold_left Numtheory.Arith.lcm 1 dims in
+  for _ = 1 to 10 do
+    let ys = random_gens st ~dims ~count:(1 + Random.State.int st 3) in
+    let gens = Coset_state.annihilator_subgroup ~dims ys in
+    List.iter
+      (fun g ->
+        List.iter
+          (fun y ->
+            let s = ref 0 in
+            Array.iteri (fun i gi -> s := !s + (gi * y.(i) * (l / dims.(i)))) g;
+            checki "character trivial on annihilator" 0 (Numtheory.Arith.emod !s l))
+          ys)
+      gens;
+    (* the closure is exactly the brute-force kernel *)
+    let kernel =
+      List.filter
+        (fun xl ->
+          let x = Array.of_list xl in
+          List.for_all
+            (fun y ->
+              let s = ref 0 in
+              Array.iteri (fun i xi -> s := !s + (xi * y.(i) * (l / dims.(i)))) x;
+              Numtheory.Arith.emod !s l = 0)
+            ys)
+        (brute_closure ~dims
+           (List.init (Array.length dims) (fun i ->
+                Array.init (Array.length dims) (fun j -> if i = j then 1 else 0))))
+    in
+    checkb "matches brute kernel" true (closure_of_gens ~dims gens = kernel)
+  done
+
+let test_annihilator_character_agreement () =
+  (* Qft.character_is_trivial_on agrees with annihilator membership. *)
+  let st = rng () in
+  let dims = [| 6; 4 |] in
+  for _ = 1 to 20 do
+    let ys = random_gens st ~dims ~count:2 in
+    let gens = Coset_state.annihilator_subgroup ~dims ys in
+    List.iter
+      (fun y ->
+        List.iter
+          (fun g -> checkb "trivial on gens" true (Qft.character_is_trivial_on ~dims y g))
+          gens)
+      ys
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cryptographic scale                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_large_group_sampling () =
+  (* Z_4^60, |G| = 2^120: plant H, draw samples, recover H exactly via
+     annihilator_subgroup + HNF equality — the Theorem 3 pipeline at a
+     size no amplitude backend can touch. *)
+  let st = rng () in
+  let r = 60 in
+  let dims = Array.make r 4 in
+  (* H = <2e_{2i} + 2e_{2i+1}, e_{2i} + e_{2i+1} doubled>: per pair of
+     coordinates the order-4 cyclic subgroup {(0,0),(1,1),(2,2),(3,3)},
+     so |H| = 4^30 = 2^60. *)
+  let gens =
+    List.init (r / 2) (fun i ->
+        Array.init r (fun j -> if j = (2 * i) || j = (2 * i) + 1 then 1 else 0))
+  in
+  let planted = Backend_symbolic.Subgroup.of_gens ~dims gens in
+  let queries = Query.create () in
+  let draw =
+    (* force symbolic: an HSP_BACKEND=dense/sparse test leg would
+       otherwise try to enumerate the 2^60-element coset. *)
+    Coset_state.sampler_with_subgroup ~backend:Backend.Symbolic ~dims ~subgroup:gens ~queries ()
+  in
+  let samples = List.init 200 (fun _ -> draw st) in
+  let rec_gens = Coset_state.annihilator_subgroup ~dims samples in
+  let recovered = Backend_symbolic.Subgroup.of_gens ~dims rec_gens in
+  checkb "recovered = planted" true (Backend_symbolic.Subgroup.equal recovered planted);
+  checkb "order log2" true
+    (Float.abs (Backend_symbolic.Subgroup.order_log2 planted -. 60.0) < 1e-9)
+
+let () =
+  Alcotest.run "symbolic"
+    [
+      ( "subgroup",
+        [
+          Alcotest.test_case "basics and dual" `Quick test_subgroup_basics;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "matches dense DFT" `Quick test_rewrite_matches_dense;
+          Alcotest.test_case "ledger" `Quick test_rewrite_ledger;
+        ] );
+      ( "recognition",
+        [
+          Alcotest.test_case "of_indices coset" `Quick test_of_indices_recognition;
+        ] );
+      ( "demotion",
+        [
+          Alcotest.test_case "amplitude ops agree" `Quick test_demotion_equivalence;
+          Alcotest.test_case "mid-sweep replay" `Quick test_mid_sweep_demotion;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_measure_deterministic;
+          Alcotest.test_case "differential vs dense" `Quick test_sampler_differential;
+        ] );
+      ( "annihilator",
+        [
+          Alcotest.test_case "trivial subgroup" `Quick test_annihilator_trivial_subgroup;
+          Alcotest.test_case "full group" `Quick test_annihilator_full_group;
+          Alcotest.test_case "mixed dims vs brute force" `Quick test_annihilator_mixed_dims_brute;
+          Alcotest.test_case "character agreement" `Quick test_annihilator_character_agreement;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "Z_4^60 recovery" `Quick test_large_group_sampling;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_differential ]);
+    ]
