@@ -1,5 +1,14 @@
 open Groups
 
+exception Not_converged of { stage : string; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Not_converged { stage; attempts } ->
+        Some
+          (Printf.sprintf "Order_finding.Not_converged(%s after %d attempts)" stage attempts)
+    | _ -> None)
+
 (* Intern arbitrary string tags as ints for the period finder. *)
 let interner () =
   let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
@@ -14,7 +23,7 @@ let interner () =
 let find_period rng pow ~bound ~queries =
   match Quantum.Shor.period_finding rng ~f:pow ~period_bound:bound ~queries ~max_rounds:64 with
   | Some r -> r
-  | None -> failwith "Order_finding: period finding did not converge"
+  | None -> raise (Not_converged { stage = "period-finding"; attempts = 64 })
 
 let order rng (g : 'a Group.t) x ~bound ~queries =
   let intern = interner () in
@@ -70,7 +79,8 @@ let order_mod_generated_watrous rng (g : 'a Group.t) n_gens x ~queries =
   in
   let batch = Numtheory.Arith.ilog2 (max 2 m) + 4 in
   let rec go attempts samples =
-    if attempts > 16 then failwith "Order_finding: Watrous-style sampling did not converge";
+    if attempts > 16 then
+      raise (Not_converged { stage = "watrous-sampling"; attempts = 16 });
     let samples = samples @ List.init batch (fun _ -> draw rng) in
     let gens = Quantum.Coset_state.annihilator_subgroup ~dims:[| m |] samples in
     let r = List.fold_left (fun acc v -> Numtheory.Arith.gcd acc v.(0)) m gens in

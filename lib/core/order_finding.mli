@@ -10,12 +10,21 @@ open Groups
     the canonical coset labels, our stand-in for Watrous's coset
     superpositions [|x^k N>] (Theorem 10). *)
 
+exception Not_converged of { stage : string; attempts : int }
+(** The probabilistic sampling loop exhausted its attempt budget
+    without a verified answer.  This is the {e retryable} failure mode
+    of every entry point below — a fresh RNG draw may well succeed, and
+    long-running callers (the [hsp_served] service) surface it as a
+    typed, retryable error reply instead of a connection-killing
+    crash.  [stage] is ["period-finding"] or ["watrous-sampling"]. *)
+
 val order :
   Random.State.t -> 'a Group.t -> 'a -> bound:int -> queries:Quantum.Query.t -> int
 (** Order of [x] by simulated Shor period finding on the power map.
     [bound] is any upper bound on the order (e.g. [|G|] or an exponent
     bound); it sizes the Fourier register.
-    @raise Failure if sampling does not converge (bad bound). *)
+    @raise Not_converged if sampling does not converge (bad bound or
+    unlucky draws; retryable). *)
 
 val order_mod_hidden :
   Random.State.t -> 'a Group.t -> 'a Hiding.t -> 'a -> bound:int -> int

@@ -1,5 +1,26 @@
 open Groups
 
+(* Failure taxonomy for callers that must keep running after a solver
+   throws (the service layer): retryable convergence failures vs
+   rejected requests vs genuine bugs. *)
+type failure =
+  | Retryable of string  (* probabilistic loop ran out of attempts *)
+  | Rejected of string  (* invalid request: caps, malformed dims, ... *)
+  | Crashed of string  (* anything else — a bug, not a request problem *)
+
+let classify_failure = function
+  | Order_finding.Not_converged { stage; attempts } ->
+      Retryable (Printf.sprintf "%s did not converge after %d attempts" stage attempts)
+  | Invalid_argument msg -> Rejected msg
+  | exn -> Crashed (Printexc.to_string exn)
+
+let failure_retryable = function Retryable _ -> true | Rejected _ | Crashed _ -> false
+
+let failure_to_string = function
+  | Retryable msg -> "retryable: " ^ msg
+  | Rejected msg -> "rejected: " ^ msg
+  | Crashed msg -> "crashed: " ^ msg
+
 type report = {
   instance : string;
   algorithm : string;

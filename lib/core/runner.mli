@@ -1,6 +1,31 @@
 (** Experiment driver: run a solver on an instance, verify the answer
     against ground truth, and collect query/time/cost accounting. *)
 
+(** {2 Failure classification}
+
+    Solvers signal failure by raising; a one-shot CLI can simply die,
+    but a long-running caller (the [hsp_served] service) must map the
+    exception to a structured reply and keep the connection alive.
+    {!classify_failure} is that mapping. *)
+
+type failure =
+  | Retryable of string
+      (** a probabilistic sampling loop exhausted its attempt budget
+          ({!Order_finding.Not_converged}); the same request may well
+          succeed on a retry *)
+  | Rejected of string
+      (** the request itself was invalid — size caps, malformed dims
+          ([Invalid_argument]); retrying is pointless *)
+  | Crashed of string  (** anything else: a bug, not a request problem *)
+
+val classify_failure : exn -> failure
+
+val failure_retryable : failure -> bool
+(** [true] exactly for {!Retryable}. *)
+
+val failure_to_string : failure -> string
+(** ["retryable: ..."] / ["rejected: ..."] / ["crashed: ..."]. *)
+
 type report = {
   instance : string;
   algorithm : string;

@@ -8,16 +8,33 @@ let check_total ~cap total =
     invalid_arg "Coset_state: group too large for state-vector simulation";
   total
 
-(* Dense-path size check: [sample_full] and [enumerate] materialise
-   O(|A|) dense data, so they keep the small cap regardless of
-   backend. *)
+(* Dense-path size check: [sample_full] materialises O(|A|) dense data,
+   so it keeps the small cap regardless of backend. *)
 let total_of dims = check_total ~cap:max_group_size (Array.fold_left ( * ) 1 dims)
 
-let enumerate dims =
-  let total = total_of dims in
-  List.init total (fun idx -> State.decode dims idx)
+(* ------------------------------------------------------------------ *)
+(* First-class sampler prep                                            *)
+(* ------------------------------------------------------------------ *)
 
-let sampler ?backend ~dims ~f ~queries () =
+(* The expensive, reusable artifact of [sampler]: the oracle expanded
+   classically ONCE into CSR coset buckets.  [members.(starts.(c) ..
+   starts.(c+1)-1)] lists coset [c]'s basis indices in increasing
+   order.  The pass is O(|A|), shared by all samples drawn from the
+   prep (ledger: sampler_preps stays at 1 per oracle) and charged to
+   "sample-prep"; after it, one sample touches only its own bucket —
+   O(|coset|), never O(|A|) again.  Keeping the prep first-class lets
+   the service layer cache it across requests, so the O(|A|) pass is
+   paid once per oracle, not once per request. *)
+type prep = {
+  pdims : int array;
+  pbackend : Backend.choice;  (* resolved amplitude backend, never Auto *)
+  ptotal : int;
+  pwires : int list;
+  ptables : (int array * int array * int array) Lazy.t;
+      (* (tag_id, starts, members), built on first use *)
+}
+
+let prep ?backend ~dims ~f () =
   let total = Backend.total_of dims in
   (* The Fourier/measure pipeline never materialises O(|A|) amplitudes
      on the sparse backend, so the cap is the flat-array bound for the
@@ -29,15 +46,8 @@ let sampler ?backend ~dims ~f ~queries () =
     | _ -> max_group_size
   in
   let total = check_total ~cap total in
-  (* The oracle is deterministic, so the simulator expands it
-     classically ONCE and buckets the group by coset, CSR-style:
-     [members.(starts.(c) .. starts.(c+1)-1)] lists coset [c]'s basis
-     indices in increasing order.  The pass is O(|A|), shared by all
-     samples (ledger: sampler_preps stays at 1 per oracle) and charged
-     to "sample-prep"; after it, one sample touches only its own
-     bucket — O(|coset|), never O(|A|) again.  Each sample is still
-     charged one quantum query. *)
-  let buckets =
+  let dims = Array.copy dims in
+  let ptables =
     lazy
       ( Metrics.phase "sample-prep" @@ fun () ->
         Metrics.record_sampler_prep ();
@@ -69,24 +79,56 @@ let sampler ?backend ~dims ~f ~queries () =
         done;
         (tag_id, starts, members) )
   in
-  let wires = List.init (Array.length dims) (fun i -> i) in
+  {
+    pdims = dims;
+    pbackend = resolved;
+    ptotal = total;
+    pwires = List.init (Array.length dims) (fun i -> i);
+    ptables;
+  }
+
+let prep_force p = ignore (Lazy.force p.ptables)
+let prep_dims p = Array.copy p.pdims
+let prep_backend p = p.pbackend
+
+let prep_cosets p =
+  let _, starts, _ = Lazy.force p.ptables in
+  Array.length starts - 1
+
+let prep_bytes p =
+  (* Approximate heap footprint in bytes: the three flat int tables
+     dominate (one word each per entry), plus a small fixed overhead
+     for the record and dims.  Used by the service cache's byte
+     accounting, so it only needs to be proportionally honest. *)
+  let word = Sys.word_size / 8 in
+  let tables =
+    if Lazy.is_val p.ptables then
+      let tag_id, starts, members = Lazy.force p.ptables in
+      Array.length tag_id + Array.length starts + Array.length members
+    else
+      (* unforced: report the size the tables will have once built *)
+      (2 * p.ptotal) + 2
+  in
+  word * (tables + Array.length p.pdims + 16)
+
+let sampler_of_prep p ~queries () =
   fun rng ->
     Query.tick queries;
-    let tag_id, starts, members = Lazy.force buckets in
+    let tag_id, starts, members = Lazy.force p.ptables in
     (* Measure the function register first: the outcome is f(x) for a
        uniform x, i.e. a coset chosen with probability |coset| / |A|.
        Drawing a uniform basis index and taking its bucket implements
        exactly that. *)
-    let x0 = Random.State.int rng total in
+    let x0 = Random.State.int rng p.ptotal in
     let id = tag_id.(x0) in
     let lo = starts.(id) in
     let count = starts.(id + 1) - lo in
     Metrics.add_coset_visits count;
     let st =
       Metrics.phase "sample-prep" @@ fun () ->
-      State.of_indices ~backend:resolved dims (Array.sub members lo count)
+      State.of_indices ~backend:p.pbackend p.pdims (Array.sub members lo count)
     in
-    let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires) in
+    let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires:p.pwires) in
     let outcome = Metrics.phase "measure" (fun () -> State.measure_all rng st) in
     if Metrics.tracing () then
       Metrics.trace "coset-round"
@@ -98,6 +140,9 @@ let sampler ?backend ~dims ~f ~queries () =
         ];
     outcome
 
+let sampler ?backend ~dims ~f ~queries () =
+  sampler_of_prep (prep ?backend ~dims ~f ()) ~queries ()
+
 let sample rng ~dims ~f ~queries = sampler ~dims ~f ~queries () rng
 
 let sampler_with_support ?backend ~dims ~coset ~queries () =
@@ -105,10 +150,12 @@ let sampler_with_support ?backend ~dims ~coset ~queries () =
      caller hands us the coset of a uniformly drawn point directly, so
      one round costs O(|coset|) state construction plus the sparse
      Fourier/measurement work.  This is what lifts instances whose
-     total dimension exceeds even [max_group_size_sparse]: the backend
-     defaults to sparse ({!State.of_indices}) unless the caller forces
-     dense. *)
-  let _total_checked = Backend.total_of dims in
+     total dimension exceeds even [max_group_size_sparse] — including
+     registers whose total dimension does not fit in an int at all
+     ([Z_2^200]-shaped dims), so only the wire dimensions are validated
+     here and an unformable total ([None]) means "uncapped", never an
+     error. *)
+  ignore (Backend.total_of_opt dims : int option);
   let wires = List.init (Array.length dims) (fun i -> i) in
   fun rng ->
     Query.tick queries;
@@ -142,23 +189,21 @@ let sampler_with_support ?backend ~dims ~coset ~queries () =
 let sample_with_support rng ?backend ~dims ~coset ~queries () =
   sampler_with_support ?backend ~dims ~coset ~queries () rng
 
-let sampler_with_subgroup ?backend ~dims ~subgroup ~queries () =
-  (* The cryptographic-scale path: the simulator is handed the hidden
-     subgroup as a *generator list* (never an element enumeration), so
-     one round is O(r^2) end to end on the symbolic backend — coset
-     state by representative, full Fourier sweep by the closed-form
-     rewrite, measurement by uniform annihilator sampling.  Z_2^200 is
-     as cheap as Z_2^2; there is no group-size cap anywhere.  The
-     subgroup is canonicalised once, here, and its annihilator solve is
-     memoised inside, so the per-sample work contains no normal-form
-     computation at all.  Dense/sparse choices enumerate the coset and
-     run the amplitude pipeline instead — the differential oracles the
-     chi-squared gate compares against (Backend.Caps.symbolic_materialise
-     bounds that enumeration). *)
-  let sub =
-    Metrics.phase "sample-prep" @@ fun () ->
-    Backend_symbolic.Subgroup.of_gens ~dims subgroup
-  in
+let sampler_of_subgroup ?backend ~sub ~queries () =
+  (* The cryptographic-scale path over an already-canonicalised
+     subgroup: one round is O(r^2) end to end on the symbolic backend —
+     coset state by representative, full Fourier sweep by the
+     closed-form rewrite, measurement by uniform annihilator sampling.
+     Z_2^200 is as cheap as Z_2^2; there is no group-size cap anywhere.
+     The annihilator solve is memoised inside [sub], so the per-sample
+     work contains no normal-form computation at all — and because
+     [sub] is a first-class value, the service layer caches it across
+     requests (canonicalisation paid once per oracle).  Dense/sparse
+     choices enumerate the coset and run the amplitude pipeline
+     instead — the differential oracles the chi-squared gate compares
+     against (Backend.Caps.symbolic_materialise bounds that
+     enumeration). *)
+  let dims = Backend_symbolic.Subgroup.dims sub in
   let choice =
     match backend with
     | Some c -> c
@@ -183,49 +228,96 @@ let sampler_with_subgroup ?backend ~dims ~subgroup ~queries () =
         ];
     outcome
 
+let sampler_with_subgroup ?backend ~dims ~subgroup ~queries () =
+  let sub =
+    Metrics.phase "sample-prep" @@ fun () ->
+    Backend_symbolic.Subgroup.of_gens ~dims subgroup
+  in
+  sampler_of_subgroup ?backend ~sub ~queries ()
+
 let sample_with_subgroup rng ?backend ~dims ~subgroup ~queries () =
   sampler_with_subgroup ?backend ~dims ~subgroup ~queries () rng
 
 let sampler_state_valued ?backend ~dims ~f ~queries () =
   (* Reduce the state-valued oracle to the tag case by canonicalising
      each returned vector to a bucket id: the promise (equal within a
-     coset, orthogonal across) makes near-equality a safe test. *)
-  let reps : (int * Cvec.t) list ref = ref [] in
+     coset, orthogonal across) makes near-equality a safe test.
+     Vectors are keyed by their support signature — the indices
+     carrying non-negligible mass — so a lookup is one hash probe
+     instead of an O(#cosets) scan over every representative seen so
+     far.  Equal vectors (deterministic oracle, identical floats) hash
+     identically; orthogonal vectors almost always differ in support
+     and land in different buckets, and the rare same-support
+     orthogonal pair is resolved by an approx-equality scan within the
+     (tiny) bucket.  The table is mutex-guarded: the service layer
+     batches concurrent requests over one sampler, so the memo must
+     tolerate racing evaluations. *)
+  let lock = Mutex.create () in
+  let next_id = ref 0 in
+  let buckets : (int list, (int * Cvec.t) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let signature v =
+    let acc = ref [] in
+    for i = Array.length v - 1 downto 0 do
+      if Cx.norm2 v.(i) > 1e-12 then acc := i :: !acc
+    done;
+    !acc
+  in
   let tag_of x =
     let v = f x in
-    let matching =
-      List.find_opt (fun (_, r) -> Cvec.approx_equal ~eps:1e-6 r v) !reps
+    let key = signature v in
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+    let bucket =
+      match Hashtbl.find_opt buckets key with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add buckets key b;
+          b
     in
-    match matching with
+    match
+      List.find_opt (fun (_, r) -> Cvec.approx_equal ~eps:1e-6 r v) !bucket
+    with
     | Some (id, _) -> id
     | None ->
-        let id = List.length !reps in
-        reps := (id, v) :: !reps;
+        let id = !next_id in
+        incr next_id;
+        bucket := (id, v) :: !bucket;
         id
   in
   sampler ?backend ~dims ~f:tag_of ~queries ()
 
 let sample_full rng ?backend ~dims ~f ~queries () =
   Query.tick queries;
-  (* Canonicalise oracle values to 0..k-1 so they fit one output wire. *)
+  let total = total_of dims in
+  (* Canonicalise oracle values to 0..k-1 so they fit one output wire.
+     One classical pass both assigns the ids and memoises every basis
+     tuple's tag, so [f] is evaluated exactly once per element — the
+     oracle unitary below reads the memo instead of re-evaluating.
+     That pass is simulator work outside the single quantum query
+     charged above, so it is recorded in the ledger's [classical_evals]
+     rather than silently vanishing from the cost accounting. *)
   let values = Hashtbl.create 64 in
-  let canon v =
-    match Hashtbl.find_opt values v with
-    | Some k -> k
-    | None ->
-        let k = Hashtbl.length values in
-        Hashtbl.add values v k;
-        k
+  let tags =
+    Array.init total (fun idx ->
+        let v = f (State.decode dims idx) in
+        match Hashtbl.find_opt values v with
+        | Some k -> k
+        | None ->
+            let k = Hashtbl.length values in
+            Hashtbl.add values v k;
+            k)
   in
-  List.iter (fun x -> ignore (canon (f x))) (enumerate dims);
+  Metrics.add_classical_evals total;
   let out_dim = max 1 (Hashtbl.length values) in
-  let all_dims = Array.append dims [| out_dim |] in
   let n = Array.length dims in
   let group_wires = List.init n (fun i -> i) in
   let st = State.uniform ?backend dims in
   let st = State.tensor st (State.create ?backend [| out_dim |]) in
-  let st = State.apply_oracle_add st ~in_wires:group_wires ~out_wire:n ~f:(fun x -> canon (f x)) in
-  ignore all_dims;
+  let st =
+    State.apply_oracle_add st ~in_wires:group_wires ~out_wire:n
+      ~f:(fun x -> tags.(State.encode dims x))
+  in
   let st = Metrics.phase "fourier" (fun () -> Qft.forward st ~wires:group_wires) in
   let outcome, _ =
     Metrics.phase "measure" (fun () -> State.measure rng st ~wires:group_wires)

@@ -79,7 +79,64 @@ val sampler :
     oracle over the group once, buckets the group into cosets, and
     reuses the buckets across samples — same distribution and query
     accounting, with every round after the first pass costing
-    O(|coset|) instead of O(|A|). *)
+    O(|coset|) instead of O(|A|).  Equivalent to
+    [sampler_of_prep (prep ?backend ~dims ~f ()) ~queries ()]. *)
+
+(** {2 First-class sampler prep}
+
+    The expensive artifact behind {!sampler} — the O(|A|) oracle
+    expansion into CSR coset buckets — as a value that outlives any one
+    sampler.  A long-running caller (the [hsp_served] service layer)
+    caches preps keyed by oracle fingerprint and attaches a fresh
+    query counter per request: the O(|A|) pass is then paid once per
+    {e oracle}, not once per request, and the ledger's [sampler_preps]
+    counts distinct oracles. *)
+
+type prep
+(** Reusable coset-bucket tables for one (dims, oracle) pair, plus the
+    resolved backend.  Cheap to construct ({!prep} validates sizes and
+    resolves the backend eagerly, but delays the O(|A|) expansion until
+    the first sample or {!prep_force}); safe to share across samplers
+    and threads once forced. *)
+
+val prep :
+  ?backend:Backend.choice ->
+  dims:int array ->
+  f:(int array -> int) ->
+  unit ->
+  prep
+(** Build the prep for [f] over [A = Z_{d_1} x ... x Z_{d_r}].  Size
+    caps are enforced here ({!max_group_size} dense,
+    {!max_group_size_sparse} sparse/symbolic); the bucketing pass runs
+    lazily, charged to the ["sample-prep"] phase and the
+    [sampler_preps] ledger counter exactly once. *)
+
+val prep_force : prep -> unit
+(** Force the O(|A|) bucketing pass now (e.g. before sharing the prep
+    across service worker threads, so the lazy cell is settled). *)
+
+val prep_dims : prep -> int array
+(** The register dimensions the prep was built for (a copy). *)
+
+val prep_backend : prep -> Backend.choice
+(** The resolved amplitude backend (never [Auto]). *)
+
+val prep_cosets : prep -> int
+(** Number of distinct cosets (oracle values) found; forces the
+    tables. *)
+
+val prep_bytes : prep -> int
+(** Approximate heap footprint in bytes (the flat bucket tables
+    dominate) — the unit of the service cache's byte budget.  Does not
+    force the tables: an unforced prep reports its post-expansion
+    size. *)
+
+val sampler_of_prep :
+  prep -> queries:Query.t -> unit -> Random.State.t -> int array
+(** A sampler drawing from an existing prep: identical distribution
+    and per-round accounting to {!sampler} (one quantum query tick on
+    [queries], [coset_visits] per round), but the O(|A|) pass is shared
+    with every other sampler made from the same prep. *)
 
 val sampler_with_support :
   ?backend:Backend.choice ->
@@ -140,6 +197,18 @@ val sample_with_subgroup :
   int array
 (** One-shot form of {!sampler_with_subgroup}. *)
 
+val sampler_of_subgroup :
+  ?backend:Backend.choice ->
+  sub:Backend_symbolic.Subgroup.t ->
+  queries:Query.t ->
+  unit ->
+  Random.State.t -> int array
+(** {!sampler_with_subgroup} over an {e already-canonicalised}
+    subgroup: the caller (typically the service cache) holds the HNF
+    basis and its memoised annihilator solve, so constructing a sampler
+    here performs no normal-form work at all.  Dims are taken from the
+    subgroup; backend semantics are as in {!sampler_with_subgroup}. *)
+
 val sample_full :
   Random.State.t ->
   ?backend:Backend.choice ->
@@ -151,7 +220,10 @@ val sample_full :
 (** Same distribution as {!sample}, computed by building the full
     [A x range(f)] register, applying the oracle unitary, Fourier
     transforming and measuring.  Exponentially more memory; only for
-    small [A]. *)
+    small [A].  The value-canonicalisation pass evaluates [f] once per
+    group element classically; that work is recorded in the ledger's
+    [classical_evals] counter (the algorithm itself is still charged
+    exactly one quantum query). *)
 
 val sampler_state_valued :
   ?backend:Backend.choice ->
@@ -167,7 +239,10 @@ val sampler_state_valued :
     tag.  The Fourier-sampling outcome distribution is identical to
     the tag case: measuring the state register projects onto one
     coset.  Vectors are bucketed by exact-up-to-epsilon equality
-    (cosets are promised either equal or orthogonal). *)
+    (cosets are promised either equal or orthogonal), keyed by support
+    signature so each evaluation costs one hash probe rather than a
+    scan over all cosets seen; the memo is mutex-guarded and safe under
+    concurrent draws. *)
 
 val annihilator_subgroup : dims:int array -> int array list -> int array list
 (** [annihilator_subgroup ~dims ys] recovers generators of

@@ -22,6 +22,7 @@ type snapshot = {
   compactions : int;
   sampler_preps : int;
   coset_visits : int;
+  classical_evals : int;
   symbolic_rewrites : int;
   symbolic_samples : int;
   symbolic_solves : int;
@@ -48,6 +49,7 @@ let peak_dense_alloc = Atomic.make 0
 let compactions = Atomic.make 0
 let sampler_preps = Atomic.make 0
 let coset_visits = Atomic.make 0
+let classical_evals = Atomic.make 0
 let symbolic_rewrites = Atomic.make 0
 let symbolic_samples = Atomic.make 0
 let symbolic_solves = Atomic.make 0
@@ -80,6 +82,7 @@ let reset () =
   Atomic.set compactions 0;
   Atomic.set sampler_preps 0;
   Atomic.set coset_visits 0;
+  Atomic.set classical_evals 0;
   Atomic.set symbolic_rewrites 0;
   Atomic.set symbolic_samples 0;
   Atomic.set symbolic_solves 0;
@@ -103,6 +106,7 @@ let snapshot () =
     compactions = Atomic.get compactions;
     sampler_preps = Atomic.get sampler_preps;
     coset_visits = Atomic.get coset_visits;
+    classical_evals = Atomic.get classical_evals;
     symbolic_rewrites = Atomic.get symbolic_rewrites;
     symbolic_samples = Atomic.get symbolic_samples;
     symbolic_solves = Atomic.get symbolic_solves;
@@ -127,6 +131,7 @@ let record_dense_alloc total = raise_to peak_dense_alloc total
 let record_compaction () = tick compactions
 let record_sampler_prep () = tick sampler_preps
 let add_coset_visits n = add coset_visits n
+let add_classical_evals n = add classical_evals n
 let record_symbolic_rewrite () = tick symbolic_rewrites
 let record_symbolic_sample () = tick symbolic_samples
 let record_symbolic_solve () = tick symbolic_solves
@@ -180,6 +185,7 @@ let to_fields s =
     ("compactions", string_of_int s.compactions);
     ("sampler_preps", string_of_int s.sampler_preps);
     ("coset_visits", string_of_int s.coset_visits);
+    ("classical_evals", string_of_int s.classical_evals);
     ("symbolic_rewrites", string_of_int s.symbolic_rewrites);
     ("symbolic_samples", string_of_int s.symbolic_samples);
     ("symbolic_solves", string_of_int s.symbolic_solves);
@@ -201,6 +207,7 @@ let pp fmt s =
   Format.fprintf fmt "  segment compactions : %d@," s.compactions;
   Format.fprintf fmt "  sampler prep passes : %d@," s.sampler_preps;
   Format.fprintf fmt "  coset members visited : %d@," s.coset_visits;
+  Format.fprintf fmt "  classical oracle evals : %d@," s.classical_evals;
   Format.fprintf fmt "  symbolic DFT rewrites : %d@," s.symbolic_rewrites;
   Format.fprintf fmt "  symbolic subgroup draws : %d@," s.symbolic_samples;
   Format.fprintf fmt "  symbolic normal-form solves : %d@," s.symbolic_solves;

@@ -57,6 +57,13 @@ type snapshot = {
       (** coset members visited while building sampled coset states —
           the per-sample work of [Coset_state.sampler] after the shared
           prep pass, O(|coset|) per round *)
+  classical_evals : int;
+      (** classical oracle evaluations performed by the simulator
+          outside any quantum query — e.g. [Coset_state.sample_full]'s
+          value-canonicalisation pass, which evaluates [f] on all |A|
+          elements while the algorithm is charged a single quantum
+          query.  Keeping this separate stops the cost ledger silently
+          under-counting classical work. *)
   symbolic_rewrites : int;
       (** closed-form full-register DFT rewrites performed by
           [Backend_symbolic]: [|xH> -> phase-decorated uniform on
@@ -106,6 +113,10 @@ val record_sampler_prep : unit -> unit
 
 val add_coset_visits : int -> unit
 (** Coset members visited while building one sampled coset state. *)
+
+val add_classical_evals : int -> unit
+(** Classical oracle evaluations performed by the simulator outside a
+    quantum query (see the [classical_evals] field). *)
 
 val record_symbolic_rewrite : unit -> unit
 (** One closed-form DFT rewrite in [Backend_symbolic]. *)

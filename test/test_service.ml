@@ -1,0 +1,486 @@
+(* Service-layer coverage: the overflow/accounting bugfixes in
+   Coset_state, the LRU artifact cache, fingerprinting, batching
+   against one cached prep, per-request error containment over a real
+   socket, and batched-vs-sequential distribution equality.
+
+   The uncapped-sampler regressions (Z_2^200 construction, beyond-cap
+   end-to-end rounds, sample_full's classical_evals accounting, the
+   state-valued sampler's hashed memo) live here too: the service
+   daemon is exactly the caller those paths must not crash under. *)
+
+open Quantum
+open Hsp_service
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let setup () =
+  Metrics.reset ();
+  Backend.set_default Backend.Auto
+
+let rng () = Random.State.make [| 42 |]
+
+(* ------------------------------------------------------------------ *)
+(* Bugfix: sampler_with_support at Z_2^200 (total overflows an int)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Constructing the sampler used to call Backend.total_of, which raises
+   on a 200-wire binary register; the whole point of this entry point
+   is that no total-dimension integer is ever needed. *)
+let test_with_support_z2_200_constructs () =
+  setup ();
+  let dims = Array.make 200 2 in
+  let coset x0 = [ Array.copy x0 ] in
+  List.iter
+    (fun backend ->
+      let queries = Query.create () in
+      let sampler = Coset_state.sampler_with_support ~backend ~dims ~coset ~queries () in
+      ignore (sampler : Random.State.t -> int array);
+      checki "no queries charged at construction" 0 (Query.count queries))
+    [ Backend.Sparse; Backend.Symbolic ]
+
+(* End-to-end rounds at a formable total beyond the sparse coset cap
+   (2^28 > 2^26): H = Z_2^14 x {0}^14, a balanced split so both the
+   coset (|H| = 2^14 members) and its Fourier support (the dual,
+   |G|/|H| = 2^14) stay far below the cap.  Outcomes must annihilate H
+   (zero on the free coordinates). *)
+let test_with_support_beyond_cap_rounds () =
+  setup ();
+  let st = rng () in
+  let n_wires = 28 and free = 14 in
+  let dims = Array.make n_wires 2 in
+  let coset x0 =
+    List.init (1 lsl free) (fun bits ->
+        Array.init n_wires (fun i -> if i < free then (bits lsr i) land 1 else x0.(i)))
+  in
+  let queries = Query.create () in
+  let sampler = Coset_state.sampler_with_support ~dims ~coset ~queries () in
+  for _ = 1 to 3 do
+    let y = sampler st in
+    for i = 0 to free - 1 do
+      checki "character trivial on H's free coordinates" 0 y.(i)
+    done
+  done;
+  checki "one query per round" 3 (Query.count queries)
+
+(* ------------------------------------------------------------------ *)
+(* Bugfix: sample_full's classical canonicalisation accounting         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_full_classical_evals () =
+  setup ();
+  let st = rng () in
+  let dims = [| 4; 4 |] in
+  let queries = Query.create () in
+  let y = Coset_state.sample_full st ~dims ~f:(fun x -> x.(0) mod 2) ~queries () in
+  let s = Metrics.snapshot () in
+  checki "one quantum query" 1 (Query.count queries);
+  checki "16 classical oracle evals recorded" 16 s.Metrics.classical_evals;
+  (* H = 2Z_4 x Z_4; outcomes satisfy 2*y0 = 0 mod 4 and y1 = 0 *)
+  checki "y0 annihilates 2Z_4" 0 (2 * y.(0) mod 4);
+  checki "y1 annihilates Z_4" 0 y.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Bugfix: state-valued sampler with many cosets                       *)
+(* ------------------------------------------------------------------ *)
+
+(* 32 cosets (H = 32Z_64 hidden in Z_64, f maps x to basis vector
+   e_{x mod 32}): the old representative list made every evaluation an
+   O(#cosets) approx-equal scan; the hashed memo must still tag the
+   cosets correctly, i.e. all outcomes annihilate H. *)
+let test_state_valued_many_cosets () =
+  setup ();
+  let st = rng () in
+  let d = 64 and m = 32 in
+  let dims = [| d |] in
+  let f x =
+    let v = Linalg.Cvec.make m in
+    v.(x.(0) mod m) <- Linalg.Cx.one;
+    v
+  in
+  let queries = Query.create () in
+  let sampler = Coset_state.sampler_state_valued ~dims ~f ~queries () in
+  let samples = List.init 40 (fun _ -> sampler st) in
+  List.iter
+    (fun y -> checki "outcome annihilates H = 32Z_64" 0 (m * y.(0) mod d))
+    samples;
+  (* the annihilator of the samples is exactly H *)
+  let gens = Coset_state.annihilator_subgroup ~dims samples in
+  let sub = Backend_symbolic.Subgroup.of_gens ~dims gens in
+  let truth = Backend_symbolic.Subgroup.of_gens ~dims [ [| m |] ] in
+  checkb "recovered subgroup equals 32Z_64" true
+    (Backend_symbolic.Subgroup.equal sub truth);
+  checki "one prep for the whole run" 1 (Metrics.snapshot ()).Metrics.sampler_preps
+
+(* ------------------------------------------------------------------ *)
+(* Cache: hit/miss/eviction, LRU order, byte budget                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss_eviction () =
+  let c = Cache.create ~max_entries:2 ~max_bytes:max_int ~bytes_of:String.length () in
+  Cache.add c 1 "one";
+  Cache.add c 2 "two";
+  checkb "hit 1" true (Cache.find c 1 = Some "one");
+  (* 2 is now LRU; adding 3 must evict it *)
+  Cache.add c 3 "three";
+  checkb "2 evicted" true (Cache.find c 2 = None);
+  checkb "1 survives (recently used)" true (Cache.find c 1 = Some "one");
+  let s = Cache.stats c in
+  checki "entries" 2 s.Cache.entries;
+  checki "evictions" 1 s.Cache.evictions;
+  checki "hits" 2 s.Cache.hits;
+  checki "misses" 1 s.Cache.misses
+
+let test_cache_byte_budget () =
+  let c = Cache.create ~max_entries:100 ~max_bytes:10 ~bytes_of:String.length () in
+  Cache.add c "a" "xxxx";
+  Cache.add c "b" "xxxx";
+  Cache.add c "c" "xxxx";
+  (* 12 bytes > 10: LRU "a" must go *)
+  let s = Cache.stats c in
+  checki "bytes after eviction" 8 s.Cache.bytes;
+  checkb "a evicted" false (Cache.mem c "a");
+  checkb "b kept" true (Cache.mem c "b");
+  (* one oversized entry is still admitted alone *)
+  let c2 = Cache.create ~max_entries:4 ~max_bytes:3 ~bytes_of:String.length () in
+  Cache.add c2 "big" "xxxxxxxx";
+  checkb "oversized entry admitted" true (Cache.mem c2 "big")
+
+let test_cache_find_or_add () =
+  let c = Cache.create ~max_entries:4 ~max_bytes:max_int ~bytes_of:(fun _ -> 1) () in
+  let builds = ref 0 in
+  let build () = incr builds; "v" in
+  let v1, hit1 = Cache.find_or_add c 7 build in
+  let v2, hit2 = Cache.find_or_add c 7 build in
+  checkb "first is a miss" false hit1;
+  checkb "second is a hit" true hit2;
+  checkb "same value" true (String.equal v1 v2);
+  checki "built once" 1 !builds
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints: distinct instances never collide                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_distinct () =
+  let inst dims moduli backend : Protocol.instance = { dims; moduli; backend } in
+  let cases =
+    [
+      inst [| 8; 8 |] [| 4; 2 |] None;
+      inst [| 8; 8 |] [| 2; 4 |] None;
+      inst [| 8; 8 |] [| 8; 8 |] None;
+      inst [| 64 |] [| 8 |] None;
+      (* csv ambiguity probes: [2,2] vs [22], [2,21] vs [22,1] *)
+      inst [| 2; 2 |] [| 2; 2 |] None;
+      inst [| 22 |] [| 22 |] None;
+      inst [| 2; 21 |] [| 1; 1 |] None;
+      inst [| 22; 1 |] [| 1; 1 |] None;
+    ]
+  in
+  let keys =
+    List.map
+      (fun i ->
+        match Service.route i with
+        | Ok rt -> Service.fingerprint i rt
+        | Error msg -> Alcotest.failf "route failed: %s" msg)
+      cases
+  in
+  let distinct = List.sort_uniq String.compare keys in
+  checki "all fingerprints distinct" (List.length cases) (List.length distinct);
+  (* same instance on different routes is a different artifact *)
+  let i = inst [| 8; 8 |] [| 4; 2 |] None in
+  checkb "route is part of the key" false
+    (String.equal
+       (Service.fingerprint i (Service.Amp Backend.Dense))
+       (Service.fingerprint i Service.Sym))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: batching, sampler_preps = 1 per oracle, ledger deltas       *)
+(* ------------------------------------------------------------------ *)
+
+let sample_req ?seed ?(count = 8) dims moduli backend : Protocol.envelope =
+  {
+    Protocol.id = Jsonv.Null;
+    req = Protocol.Sample { inst = { dims; moduli; backend }; count; seed };
+  }
+
+let reply_int path reply =
+  let rec go v = function
+    | [] -> Jsonv.to_int_opt v
+    | k :: rest -> Option.bind (Jsonv.member k v) (fun v' -> go v' rest)
+  in
+  go reply path
+
+let reply_ok reply = Jsonv.member "ok" reply = Some (Jsonv.Bool true)
+
+let test_batched_requests_share_one_prep () =
+  setup ();
+  let t = Service.create ~seed:1 () in
+  (* stage the batch BEFORE starting the executor: all 8 jobs are
+     queued, then drained in one sweep and grouped by fingerprint *)
+  let replies = Array.make 8 Jsonv.Null in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            replies.(i) <- Service.submit t (sample_req ~seed:i [| 8; 8 |] [| 4; 2 |] None))
+          ())
+  in
+  let rec wait_staged n = if Service.pending t < n then (Thread.delay 0.005; wait_staged n) in
+  wait_staged 8;
+  Service.start t;
+  List.iter Thread.join threads;
+  Array.iter (fun r -> checkb "batched sample ok" true (reply_ok r)) replies;
+  Array.iter
+    (fun r -> checki "whole batch in one group" 8 (Option.get (reply_int [ "batched" ] r)))
+    replies;
+  checki "one prep for 8 requests on one oracle" 1
+    (Metrics.snapshot ()).Metrics.sampler_preps;
+  (* a second oracle adds exactly one more prep *)
+  let r2 = Service.submit t (sample_req [| 16 |] [| 4 |] None) in
+  checkb "second oracle ok" true (reply_ok r2);
+  checki "preps = distinct oracles" 2 (Metrics.snapshot ()).Metrics.sampler_preps;
+  Service.stop t
+
+let test_per_request_metrics_delta () =
+  setup ();
+  let t = Service.create ~seed:3 () in
+  Service.start t;
+  let r = Service.submit t (sample_req ~count:5 [| 8; 8 |] [| 4; 2 |] None) in
+  checkb "sample ok" true (reply_ok r);
+  checki "five outcomes" 5
+    (match Jsonv.member "outcomes" r with
+    | Some (Jsonv.List l) -> List.length l
+    | _ -> -1);
+  checki "five quantum queries" 5 (Option.get (reply_int [ "quantum_queries" ] r));
+  (* the delta charges this request's measurements to it *)
+  checki "five measurements in the request's ledger slice" 5
+    (Option.get (reply_int [ "metrics"; "measurements" ] r));
+  (* warm second request: no further prep in its delta *)
+  let r2 = Service.submit t (sample_req ~count:3 [| 8; 8 |] [| 4; 2 |] None) in
+  checki "warm request charges zero preps" 0
+    (Option.get (reply_int [ "metrics"; "sampler_preps" ] r2));
+  Service.stop t
+
+let test_solve_and_errors_typed () =
+  setup ();
+  let t = Service.create ~seed:4 () in
+  Service.start t;
+  (* solve at 2^120: symbolic route, closed-form verification *)
+  let dims = Array.make 120 2 in
+  let moduli = Array.init 120 (fun i -> if i < 60 then 2 else 1) in
+  let r =
+    Service.submit t
+      { Protocol.id = Jsonv.Int 9; req = Protocol.Solve { inst = { dims; moduli; backend = None }; seed = Some 5 } }
+  in
+  checkb "2^120 solve ok" true (reply_ok r);
+  checkb "verified against planted subgroup" true
+    (Jsonv.member "verified" r = Some (Jsonv.Bool true));
+  checkb "id echoed" true (Jsonv.member "id" r = Some (Jsonv.Int 9));
+  (* invalid instance: m does not divide d -> rejected, not a crash *)
+  let bad = Service.submit t (sample_req [| 8 |] [| 3 |] None) in
+  checkb "rejected reply" true
+    (match Jsonv.member "error" bad with
+    | Some err -> Jsonv.member "kind" err = Some (Jsonv.String "rejected")
+    | None -> false);
+  (* explicit dense backend on an unformable register -> rejected *)
+  let bad2 = Service.submit t (sample_req (Array.make 200 2) (Array.make 200 1) (Some Backend.Dense)) in
+  checkb "dense at 2^200 rejected" true
+    (match Jsonv.member "error" bad2 with
+    | Some err -> Jsonv.member "kind" err = Some (Jsonv.String "rejected")
+    | None -> false);
+  Service.stop t
+
+(* ------------------------------------------------------------------ *)
+(* Batched vs sequential: same distribution (chi-squared, as in E13)   *)
+(* ------------------------------------------------------------------ *)
+
+let chi2_two_sample tally_a tally_b =
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tally_a;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tally_b;
+  let stat = ref 0.0 and cells = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      incr cells;
+      let a = float_of_int (Option.value ~default:0 (Hashtbl.find_opt tally_a k)) in
+      let b = float_of_int (Option.value ~default:0 (Hashtbl.find_opt tally_b k)) in
+      stat := !stat +. (((a -. b) ** 2.0) /. (a +. b)))
+    keys;
+  (!stat, !cells)
+
+let test_batched_vs_sequential_distribution () =
+  setup ();
+  let dims = [| 8; 8 |] and moduli = [| 4; 2 |] in
+  let per_thread = 600 and n_threads = 5 in
+  (* batched: concurrent engine requests against one cached prep *)
+  let t = Service.create ~seed:11 () in
+  let replies = Array.make n_threads Jsonv.Null in
+  let threads =
+    List.init n_threads (fun i ->
+        Thread.create
+          (fun () ->
+            replies.(i) <-
+              Service.submit t (sample_req ~count:per_thread dims moduli None))
+          ())
+  in
+  let rec wait_staged n = if Service.pending t < n then (Thread.delay 0.005; wait_staged n) in
+  wait_staged n_threads;
+  Service.start t;
+  List.iter Thread.join threads;
+  Service.stop t;
+  let batched = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      checkb "batched request ok" true (reply_ok r);
+      match Jsonv.member "outcomes" r with
+      | Some (Jsonv.List l) ->
+          List.iter
+            (fun o ->
+              match o with
+              | Jsonv.List [ Jsonv.Int a; Jsonv.Int b ] ->
+                  let k = (a * 8) + b in
+                  Hashtbl.replace batched k
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt batched k))
+              | _ -> Alcotest.fail "bad outcome shape")
+            l
+      | _ -> Alcotest.fail "no outcomes")
+    replies;
+  (* sequential: the library sampler drawing the same number directly *)
+  let st = rng () in
+  let queries = Query.create () in
+  let f x = Backend.encode moduli [| x.(0) mod 4; x.(1) mod 2 |] in
+  let draw = Coset_state.sampler ~dims ~f ~queries () in
+  let sequential = Hashtbl.create 64 in
+  for _ = 1 to per_thread * n_threads do
+    let y = draw st in
+    let k = (y.(0) * 8) + y.(1) in
+    Hashtbl.replace sequential k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt sequential k))
+  done;
+  checki "same outcome support" (Hashtbl.length sequential) (Hashtbl.length batched);
+  let stat, cells = chi2_two_sample batched sequential in
+  let df = float_of_int (max 1 (cells - 1)) in
+  let threshold = df +. (6.0 *. sqrt (2.0 *. df)) +. 10.0 in
+  if stat > threshold then
+    Alcotest.failf "chi2 %.1f over %d cells exceeds %.1f" stat cells threshold
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol: parsing, framing, socket error containment           *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parsing () =
+  (match Protocol.parse_request {|{"op":"sample","dims":["2^3",5],"moduli":[2,2,2,5],"count":2}|} with
+  | Ok { req = Protocol.Sample { inst; count; _ }; _ } ->
+      checkb "b^k expansion" true (inst.Protocol.dims = [| 2; 2; 2; 5 |]);
+      checki "count" 2 count
+  | Ok _ -> Alcotest.fail "parsed as wrong op"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Protocol.parse_request {|{"op":"sample","dims":[4]}|} with
+  | Ok { req = Protocol.Sample { inst; _ }; _ } ->
+      checkb "missing moduli means trivial H = A" true (inst.Protocol.moduli = [| 4 |])
+  | _ -> Alcotest.fail "default moduli parse failed");
+  (match Protocol.parse_request {|{"dims":[4]}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing op must not parse");
+  (match Protocol.parse_request {|{"op":"sample","dims":[4],"backend":"warp"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend must not parse");
+  match Protocol.parse_request "]]]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+let test_jsonv_roundtrip () =
+  let v =
+    Jsonv.Obj
+      [
+        ("s", Jsonv.String "a\"b\\c\nd");
+        ("i", Jsonv.Int (-42));
+        ("f", Jsonv.Float 1.5);
+        ("l", Jsonv.List [ Jsonv.Bool true; Jsonv.Null; Jsonv.Int 0 ]);
+      ]
+  in
+  match Jsonv.of_string (Jsonv.to_string v) with
+  | Ok v' -> checkb "roundtrip" true (v = v')
+  | Error msg -> Alcotest.failf "roundtrip parse failed: %s" msg
+
+let test_socket_malformed_survives () =
+  setup ();
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hsp_test_service_%d.sock" (Unix.getpid ()))
+  in
+  let service = Service.create ~seed:13 () in
+  let server_thread = Server.run_in_background ~socket_path:socket service in
+  let fd = Server.connect ~socket_path:socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* garbage frame: structured malformed reply on the live connection *)
+      Protocol.write_frame fd "{not json";
+      (match Protocol.read_frame fd with
+      | Some payload -> (
+          match Jsonv.of_string payload with
+          | Ok reply ->
+              checkb "malformed reply is structured" true
+                (match Jsonv.member "error" reply with
+                | Some err -> Jsonv.member "kind" err = Some (Jsonv.String "malformed")
+                | None -> false)
+          | Error msg -> Alcotest.failf "unparseable error reply: %s" msg)
+      | None -> Alcotest.fail "connection died on malformed input");
+      (* the same connection still serves valid requests *)
+      let reply =
+        Server.request fd
+          (Jsonv.Obj
+             [
+               ("op", Jsonv.String "sample");
+               ("dims", Jsonv.List [ Jsonv.Int 8 ]);
+               ("moduli", Jsonv.List [ Jsonv.Int 2 ]);
+               ("count", Jsonv.Int 3);
+             ])
+      in
+      checkb "connection survives malformed input" true (reply_ok reply);
+      let reply = Server.request fd (Jsonv.Obj [ ("op", Jsonv.String "shutdown") ]) in
+      checkb "shutdown ok" true (reply_ok reply));
+  Thread.join server_thread;
+  checkb "socket file removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "uncapped-samplers",
+        [
+          Alcotest.test_case "Z_2^200 sampler constructs (sparse+symbolic)" `Quick
+            test_with_support_z2_200_constructs;
+          Alcotest.test_case "rounds beyond the sparse cap (2^40)" `Quick
+            test_with_support_beyond_cap_rounds;
+          Alcotest.test_case "sample_full classical_evals accounting" `Quick
+            test_sample_full_classical_evals;
+          Alcotest.test_case "state-valued sampler, 32 cosets" `Quick
+            test_state_valued_many_cosets;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss/LRU eviction" `Quick test_cache_hit_miss_eviction;
+          Alcotest.test_case "byte budget" `Quick test_cache_byte_budget;
+          Alcotest.test_case "find_or_add builds once" `Quick test_cache_find_or_add;
+          Alcotest.test_case "fingerprints distinct" `Quick test_fingerprint_distinct;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "8 batched requests, 1 prep" `Quick
+            test_batched_requests_share_one_prep;
+          Alcotest.test_case "per-request ledger deltas" `Quick
+            test_per_request_metrics_delta;
+          Alcotest.test_case "typed solve + error replies" `Quick
+            test_solve_and_errors_typed;
+          Alcotest.test_case "batched = sequential distribution" `Slow
+            test_batched_vs_sequential_distribution;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "request parsing" `Quick test_protocol_parsing;
+          Alcotest.test_case "jsonv roundtrip" `Quick test_jsonv_roundtrip;
+          Alcotest.test_case "malformed input survives on socket" `Quick
+            test_socket_malformed_survives;
+        ] );
+    ]
