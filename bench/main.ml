@@ -1439,7 +1439,36 @@ let smoke () =
     [ fmt_s "Z12xZ18"; fmt_s "membership"; fmt_s "6"; fmt_i (Quantum.Parallel.jobs ());
       fmt_s (string_of_bool (res <> None));
       fmt_i q; fmt_i (m.Quantum.Metrics.gate_apps + m.Quantum.Metrics.dft_apps);
-      fmt_s (claim_cell "6" ~params:(p ~group_order:36 ()) ~queries:q m); fmt_f sec ]
+      fmt_s (claim_cell "6" ~params:(p ~group_order:36 ()) ~queries:q m); fmt_f sec ];
+  (* Lint budget: both static passes (value semantics + concurrency
+     safety) must be clean over lib — an unsuppressed finding is a
+     claim violation like any ok=false row.  The queries column carries
+     the finding count.  Skipped when the sources are not around (e.g.
+     running the installed binary outside the repo). *)
+  if Sys.file_exists "lib" && Sys.is_directory "lib" then begin
+    let rec files path =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.concat_map (fun e -> files (Filename.concat path e))
+      else if Filename.check_suffix path ".ml" then [ path ]
+      else []
+    in
+    let findings, sec =
+      time_it (fun () ->
+          List.fold_left
+            (fun acc f ->
+              acc
+              + List.length (Analysis.Lint.lint_file f)
+              + List.length (Analysis.Race_check.lint_file f))
+            0 (files "lib"))
+    in
+    let ok = findings = 0 in
+    if not ok then incr claim_violations;
+    row
+      [ fmt_s "lib/*.ml"; fmt_s "hsp_lint"; fmt_s "-"; fmt_i (Quantum.Parallel.jobs ());
+        fmt_s (string_of_bool ok); fmt_i findings; fmt_s "-";
+        fmt_s (if ok then "ok" else "OVER"); fmt_f sec ]
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment            *)

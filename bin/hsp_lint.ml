@@ -1,12 +1,13 @@
-(* Source-level lint driver (see Analysis.Lint for the rules).
+(* Source-level lint driver (see Analysis.Lint and Analysis.Race_check
+   for the rules).
 
      hsp_lint [DIR | FILE.ml] ...     defaults to: lib
 
-   Walks the given roots for .ml files, applies the per-path rule
-   configuration (poly-compare/poly-eq under lib/group and lib/core,
-   print-stdout everywhere outside bin/ bench/ test/ examples/), prints
-   every finding and exits 1 if there are any.  Run by `dune runtest`
-   via the root dune rule and by the CI lint job. *)
+   Walks the given roots for .ml files, applies each pass's per-path
+   rule configuration (value-semantics rules from Lint, the concurrency
+   rules from Race_check), prints every finding and exits 1 if there
+   are any.  Run by `dune runtest` via the root dune rule and by the CI
+   lint job. *)
 
 let rec files path =
   if Sys.is_directory path then
@@ -19,17 +20,21 @@ let () =
   let roots = match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | r -> r in
   let ml_files = List.concat_map files roots |> List.sort String.compare in
   let errors = ref 0 in
-  let findings =
-    List.concat_map
-      (fun f ->
-        try Analysis.Lint.lint_file f
-        with Failure msg ->
-          incr errors;
-          Printf.eprintf "hsp_lint: %s\n" msg;
-          [])
-      ml_files
+  let count = ref 0 in
+  let check lint_file pp f =
+    try
+      let findings = lint_file f in
+      count := !count + List.length findings;
+      List.iter (fun fi -> Format.printf "%a@." pp fi) findings
+    with Failure msg ->
+      incr errors;
+      Printf.eprintf "hsp_lint: %s\n" msg
   in
-  List.iter (fun f -> Format.printf "%a@." Analysis.Lint.pp_finding f) findings;
+  List.iter
+    (fun f ->
+      check (fun f -> Analysis.Lint.lint_file f) Analysis.Lint.pp_finding f;
+      check (fun f -> Analysis.Race_check.lint_file f) Analysis.Race_check.pp_finding f)
+    ml_files;
   Format.printf "hsp_lint: %d file(s) checked, %d finding(s)@." (List.length ml_files)
-    (List.length findings);
-  exit (match (findings, !errors) with [], 0 -> 0 | _ -> 1)
+    !count;
+  exit (if !count = 0 && !errors = 0 then 0 else 1)

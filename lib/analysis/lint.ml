@@ -53,8 +53,11 @@ let config_for_path path =
 
 (* Maps line number -> rule names allowed on that line (the token "all"
    allows everything).  Comments are not in the Parsetree, so this is a
-   plain text scan of the source. *)
-let allow_table src =
+   plain text scan of the source.  Shared with {!Race_check}, which has
+   its own rule names but the same comment syntax. *)
+type allowlist = (int, string list) Hashtbl.t
+
+let allowlist src : allowlist =
   let tbl = Hashtbl.create 8 in
   let marker = "hsp-lint: allow" in
   List.iteri
@@ -83,13 +86,15 @@ let allow_table src =
     (String.split_on_char '\n' src);
   tbl
 
-let allowed tbl line rule =
+let allow_suppressed tbl ~line ~rule =
   let matches l =
     match Hashtbl.find_opt tbl l with
     | None -> false
-    | Some rules -> List.mem "all" rules || List.mem (rule_name rule) rules
+    | Some rules -> List.mem "all" rules || List.mem rule rules
   in
   matches line || matches (line - 1)
+
+let allowed tbl line rule = allow_suppressed tbl ~line ~rule:(rule_name rule)
 
 (* ------------------------------------------------------------------ *)
 (* The Parsetree pass                                                 *)
@@ -318,7 +323,7 @@ let membership_finding txt args =
 
 let lint_source config ~file src =
   let findings = ref [] in
-  let allow = allow_table src in
+  let allow = allowlist src in
   let report loc rule detail =
     let line = loc.Location.loc_start.Lexing.pos_lnum in
     if not (allowed allow line rule) then

@@ -81,3 +81,21 @@ val lint_file : ?config:config -> string -> finding list
 (** Reads the file; [config] defaults to {!config_for_path}. *)
 
 val pp_finding : Format.formatter -> finding -> unit
+
+(** {2 Shared infrastructure}
+
+    The allowlist-comment scan and file reader are reused by
+    {!Race_check}, whose rules use the same
+    [(* hsp-lint: allow <rule> *)] syntax. *)
+
+type allowlist
+
+val allowlist : string -> allowlist
+(** Scan a source string for [hsp-lint: allow] comments. *)
+
+val allow_suppressed : allowlist -> line:int -> rule:string -> bool
+(** Whether [rule] (by its printed name, or via ["all"]) is suppressed
+    on [line] — the comment may sit on the line itself or the one
+    above. *)
+
+val read_file : string -> string

@@ -36,9 +36,9 @@ let env_default =
         | Some c -> c
         | None -> invalid_arg (Printf.sprintf "HSP_BACKEND: unknown backend %S" s)))
 
-let current = ref None
-let default () = match !current with Some c -> c | None -> Lazy.force env_default
-let set_default c = current := Some c
+let current = Atomic.make None
+let default () = match Atomic.get current with Some c -> c | None -> Lazy.force env_default
+let set_default c = Atomic.set current (Some c)
 
 let resolve ?backend ~total () =
   match (match backend with Some c -> c | None -> default ()) with

@@ -40,14 +40,14 @@ type t = {
          session default must not contaminate states already built *)
 }
 
-let prune_epsilon = ref 1e-12
+let prune_epsilon = Atomic.make 1e-12
 
 let check_eps e =
   if e < 0.0 then invalid_arg "Backend_sparse: negative pruning epsilon";
   e
 
-let set_prune_epsilon e = prune_epsilon := check_eps e
-let prune_eps () = !prune_epsilon
+let set_prune_epsilon e = Atomic.set prune_epsilon (check_eps e)
+let prune_eps () = Atomic.get prune_epsilon
 let prune_eps_of t = t.eps
 
 (* Sample the support high-water mark after an operation settles. *)
@@ -57,7 +57,7 @@ let noted t =
 
 let make_frame ?prune_eps:e dims =
   let total = Backend.total_of dims in
-  let eps = match e with Some e -> check_eps e | None -> !prune_epsilon in
+  let eps = match e with Some e -> check_eps e | None -> Atomic.get prune_epsilon in
   { dims = Array.copy dims; total; str = Backend.strides dims; n = 0; idx = [||]; re = [||]; im = [||]; eps }
 
 (* ------------------------------------------------------------------ *)

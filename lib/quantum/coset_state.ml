@@ -265,8 +265,7 @@ let sampler_state_valued ?backend ~dims ~f ~queries () =
   let tag_of x =
     let v = f x in
     let key = signature v in
-    Mutex.lock lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+    Mutex.protect lock @@ fun () ->
     let bucket =
       match Hashtbl.find_opt buckets key with
       | Some b -> b

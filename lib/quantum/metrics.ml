@@ -63,8 +63,15 @@ let rec raise_to c v =
   let cur = Atomic.get c in
   if v > cur && not (Atomic.compare_and_set c cur v) then raise_to c v
 
-(* Accumulated wall-clock seconds per phase name, in first-seen order. *)
+(* Accumulated wall-clock seconds per phase name, in first-seen order.
+   Phases are timed on the service's executor thread while snapshot /
+   reset run on request threads, so the table sits behind phase_lock. *)
+let phase_lock = Mutex.create ()
+
+(* hsp-lint: allow domain-unsafe-global — guarded by phase_lock *)
 let phase_order : string list ref = ref []
+
+(* hsp-lint: allow domain-unsafe-global — guarded by phase_lock *)
 let phase_seconds : (string, float) Hashtbl.t = Hashtbl.create 8
 
 let reset () =
@@ -87,8 +94,9 @@ let reset () =
   Atomic.set symbolic_samples 0;
   Atomic.set symbolic_solves 0;
   Atomic.set symbolic_demotions 0;
-  phase_order := [];
-  Hashtbl.reset phase_seconds
+  Mutex.protect phase_lock (fun () ->
+      phase_order := [];
+      Hashtbl.reset phase_seconds)
 
 let snapshot () =
   {
@@ -112,9 +120,11 @@ let snapshot () =
     symbolic_solves = Atomic.get symbolic_solves;
     symbolic_demotions = Atomic.get symbolic_demotions;
     phases =
-      List.rev_map
-        (fun name -> (name, Option.value ~default:0.0 (Hashtbl.find_opt phase_seconds name)))
-        !phase_order;
+      Mutex.protect phase_lock (fun () ->
+          List.rev_map
+            (fun name ->
+              (name, Option.value ~default:0.0 (Hashtbl.find_opt phase_seconds name)))
+            !phase_order);
   }
 
 let record_gate () = tick gate_apps
@@ -143,10 +153,10 @@ let record_symbolic_demotion () = tick symbolic_demotions
 
 type tracer = string -> (string * string) list -> unit
 
-let tracer : tracer option ref = ref None
-let set_tracer t = tracer := t
-let tracing () = match !tracer with None -> false | Some _ -> true
-let trace event fields = match !tracer with None -> () | Some f -> f event fields
+let tracer : tracer option Atomic.t = Atomic.make None
+let set_tracer t = Atomic.set tracer t
+let tracing () = match Atomic.get tracer with None -> false | Some _ -> true
+let trace event fields = match Atomic.get tracer with None -> () | Some f -> f event fields
 
 (* ------------------------------------------------------------------ *)
 (* Per-phase wall-clock timer                                          *)
@@ -157,11 +167,12 @@ let phase name f =
   Fun.protect
     ~finally:(fun () ->
       let dt = Unix.gettimeofday () -. t0 in
-      (match Hashtbl.find_opt phase_seconds name with
-      | None ->
-          phase_order := name :: !phase_order;
-          Hashtbl.replace phase_seconds name dt
-      | Some acc -> Hashtbl.replace phase_seconds name (acc +. dt));
+      Mutex.protect phase_lock (fun () ->
+          match Hashtbl.find_opt phase_seconds name with
+          | None ->
+              phase_order := name :: !phase_order;
+              Hashtbl.replace phase_seconds name dt
+          | Some acc -> Hashtbl.replace phase_seconds name (acc +. dt));
       trace "phase" [ ("name", name); ("seconds", Printf.sprintf "%.6f" dt) ])
     f
 

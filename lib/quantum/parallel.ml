@@ -15,7 +15,14 @@
      parallel region, parked on a condition variable between regions,
      and resized only when the job count changes.  A per-kernel
      Domain.spawn would cost ~100us per call, comparable to an entire
-     small-register kernel. *)
+     small-register kernel.
+
+   The adversarial scheduler (HSP_SCHED=shuffle / set_sched Shuffle)
+   stresses the determinism contract at runtime: chunks execute in a
+   seeded-permuted order while everything keyed by chunk index (output
+   ranges, map_chunks slots, merge trees) is untouched, so any hidden
+   dependence on execution order trips the digest gates in
+   test_parallel / bench. *)
 
 let max_jobs = 64
 
@@ -29,13 +36,60 @@ let parse_jobs s =
 let env_default =
   lazy (match Sys.getenv_opt "HSP_JOBS" with None -> 1 | Some s -> parse_jobs s)
 
-let current = ref None
-let jobs () = match !current with Some j -> j | None -> Lazy.force env_default
+let current = Atomic.make None
+let jobs () = match Atomic.get current with Some j -> j | None -> Lazy.force env_default
 
 let set_jobs n =
   if n < 1 || n > max_jobs then
     invalid_arg (Printf.sprintf "Parallel.set_jobs: expected 1..%d, got %d" max_jobs n);
-  current := Some n
+  Atomic.set current (Some n)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial chunk scheduler                                        *)
+(* ------------------------------------------------------------------ *)
+
+type sched = Fifo | Shuffle
+
+let parse_sched s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fifo" -> Fifo
+  | "shuffle" -> Shuffle
+  | _ -> invalid_arg (Printf.sprintf "HSP_SCHED: expected fifo or shuffle, got %S" s)
+
+let sched_env =
+  lazy (match Sys.getenv_opt "HSP_SCHED" with None -> Fifo | Some s -> parse_sched s)
+
+let current_sched = Atomic.make None
+
+let sched () =
+  match Atomic.get current_sched with Some s -> s | None -> Lazy.force sched_env
+
+let set_sched s = Atomic.set current_sched (Some s)
+
+(* Each parallel region draws a fresh permutation, seeded by a region
+   counter rather than wall-clock state so a failing order is
+   reproducible from the region index alone. *)
+let shuffle_region = Atomic.make 0
+
+(* [Some perm] when shuffling: slot [k] of the region executes chunk
+   [perm.(k)].  Identity (None) under Fifo or for trivial regions. *)
+let chunk_order nchunks =
+  match sched () with
+  | Fifo -> None
+  | Shuffle ->
+      if nchunks <= 1 then None
+      else begin
+        let region = Atomic.fetch_and_add shuffle_region 1 in
+        let st = Random.State.make [| 0x5eed; nchunks; region |] in
+        let perm = Array.init nchunks (fun c -> c) in
+        for i = nchunks - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- t
+        done;
+        Some perm
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Chunk geometry                                                     *)
@@ -52,9 +106,9 @@ let chunk_bound ~lo ~hi ~nchunks c = lo + ((hi - lo) * c / nchunks)
 
 type job = {
   nchunks : int;
-  run : int -> unit;  (* run chunk [c]; must only write chunk-local or per-chunk data *)
-  next : int Atomic.t;  (* next unclaimed chunk *)
-  pending : int Atomic.t;  (* chunks not yet finished *)
+  run : int -> unit;  (* run slot [k]; must only write chunk-local or per-chunk data *)
+  next : int Atomic.t;  (* next unclaimed slot *)
+  pending : int Atomic.t;  (* slots not yet finished *)
   mutable failure : exn option;  (* first exception, under the pool mutex *)
 }
 
@@ -70,46 +124,42 @@ type pool = {
   mutable domains : unit Domain.t list;
 }
 
-let the_pool : pool option ref = ref None
+let the_pool : pool option Atomic.t = Atomic.make None
 
-(* Claim and run chunks until the job is drained.  Executed by the
-   caller and by every worker; chunk claiming is a single
-   fetch-and-add, so each chunk runs exactly once. *)
+(* Claim and run slots until the job is drained.  Executed by the
+   caller and by every worker; slot claiming is a single
+   fetch-and-add, so each slot runs exactly once. *)
 let drain pool job =
   let continue_ = ref true in
   while !continue_ do
-    let c = Atomic.fetch_and_add job.next 1 in
-    if c >= job.nchunks then continue_ := false
+    let k = Atomic.fetch_and_add job.next 1 in
+    if k >= job.nchunks then continue_ := false
     else begin
-      (try job.run c
+      (try job.run k
        with exn ->
-         Mutex.lock pool.mutex;
-         (match job.failure with None -> job.failure <- Some exn | Some _ -> ());
-         Mutex.unlock pool.mutex);
-      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
-        (* last chunk: wake the caller waiting in parallel_run *)
-        Mutex.lock pool.mutex;
-        Condition.broadcast pool.work_done;
-        Mutex.unlock pool.mutex
-      end
+         Mutex.protect pool.mutex (fun () ->
+             match job.failure with None -> job.failure <- Some exn | Some _ -> ()));
+      if Atomic.fetch_and_add job.pending (-1) = 1 then
+        (* last slot: wake the caller waiting in run_chunked *)
+        Mutex.protect pool.mutex (fun () -> Condition.broadcast pool.work_done)
     end
   done
 
 let rec worker_loop pool last_gen =
-  Mutex.lock pool.mutex;
-  while (not pool.stopping) && pool.generation = last_gen do
-    Condition.wait pool.work_ready pool.mutex
-  done;
-  if pool.stopping then Mutex.unlock pool.mutex
-  else begin
-    let gen = pool.generation in
-    let job = pool.job in
-    Mutex.unlock pool.mutex;
-    (* A stale job (already drained while we were waking up) is safe:
-       every chunk claim past nchunks is a no-op. *)
-    (match job with None -> () | Some j -> drain pool j);
-    worker_loop pool gen
-  end
+  let posted =
+    Mutex.protect pool.mutex (fun () ->
+        while (not pool.stopping) && pool.generation = last_gen do
+          Condition.wait pool.work_ready pool.mutex
+        done;
+        if pool.stopping then None else Some (pool.generation, pool.job))
+  in
+  match posted with
+  | None -> ()
+  | Some (gen, job) ->
+      (* A stale job (already drained while we were waking up) is safe:
+         every slot claim past nchunks is a no-op. *)
+      (match job with None -> () | Some j -> drain pool j);
+      worker_loop pool gen
 
 let create_pool size =
   let pool =
@@ -129,29 +179,30 @@ let create_pool size =
   pool
 
 let shutdown_pool pool =
-  Mutex.lock pool.mutex;
-  pool.stopping <- true;
-  Condition.broadcast pool.work_ready;
-  Mutex.unlock pool.mutex;
+  Mutex.protect pool.mutex (fun () ->
+      pool.stopping <- true;
+      Condition.broadcast pool.work_ready);
   List.iter Domain.join pool.domains
 
-let () = at_exit (fun () -> match !the_pool with None -> () | Some p -> shutdown_pool p)
+let () =
+  at_exit (fun () -> match Atomic.get the_pool with None -> () | Some p -> shutdown_pool p)
 
 (* The pool matching the current job count, (re)spawned lazily.  Only
-   ever called from the orchestrating domain, so no lock is needed
-   around the swap. *)
+   ever called from the orchestrating domain, so the swap itself is
+   single-threaded; Atomic publishes it to the at_exit hook. *)
 let get_pool () =
   let want = jobs () - 1 in
-  match !the_pool with
+  match Atomic.get the_pool with
   | Some p when p.size = want -> p
   | prev ->
       (match prev with None -> () | Some p -> shutdown_pool p);
       let p = create_pool want in
-      the_pool := Some p;
+      Atomic.set the_pool (Some p);
       p
 
-let run_serial ~lo ~hi ~nchunks body =
-  for c = 0 to nchunks - 1 do
+let run_serial ?order ~lo ~hi ~nchunks body =
+  for k = 0 to nchunks - 1 do
+    let c = match order with None -> k | Some perm -> perm.(k) in
     let clo = chunk_bound ~lo ~hi ~nchunks c and chi = chunk_bound ~lo ~hi ~nchunks (c + 1) in
     if chi > clo then body c clo chi
   done
@@ -167,21 +218,23 @@ let run_chunked ?chunks lo hi body =
           min c (hi - lo)
       | None -> min (hi - lo) (if j = 1 then 1 else 4 * j)
     in
-    if j = 1 || nchunks = 1 then run_serial ~lo ~hi ~nchunks body
+    let order = chunk_order nchunks in
+    if j = 1 || nchunks = 1 then run_serial ?order ~lo ~hi ~nchunks body
     else begin
       let pool = get_pool () in
       let reentrant = pool.busy in
       if reentrant then
         (* a kernel nested inside another parallel region: run it
            serially rather than deadlock on the shared pool *)
-        run_serial ~lo ~hi ~nchunks body
+        run_serial ?order ~lo ~hi ~nchunks body
       else begin
         pool.busy <- true;
         let job =
           {
             nchunks;
             run =
-              (fun c ->
+              (fun k ->
+                let c = match order with None -> k | Some perm -> perm.(k) in
                 let clo = chunk_bound ~lo ~hi ~nchunks c
                 and chi = chunk_bound ~lo ~hi ~nchunks (c + 1) in
                 if chi > clo then body c clo chi);
@@ -190,18 +243,16 @@ let run_chunked ?chunks lo hi body =
             failure = None;
           }
         in
-        Mutex.lock pool.mutex;
-        pool.job <- Some job;
-        pool.generation <- pool.generation + 1;
-        Condition.broadcast pool.work_ready;
-        Mutex.unlock pool.mutex;
+        Mutex.protect pool.mutex (fun () ->
+            pool.job <- Some job;
+            pool.generation <- pool.generation + 1;
+            Condition.broadcast pool.work_ready);
         drain pool job;
-        Mutex.lock pool.mutex;
-        while Atomic.get job.pending > 0 do
-          Condition.wait pool.work_done pool.mutex
-        done;
-        pool.job <- None;
-        Mutex.unlock pool.mutex;
+        Mutex.protect pool.mutex (fun () ->
+            while Atomic.get job.pending > 0 do
+              Condition.wait pool.work_done pool.mutex
+            done;
+            pool.job <- None);
         pool.busy <- false;
         match job.failure with None -> () | Some exn -> raise exn
       end

@@ -18,16 +18,48 @@
 
     The job count defaults to the [HSP_JOBS] environment variable
     (falling back to 1); [hsp_cli --jobs] overrides it via
-    {!set_jobs}. *)
+    {!set_jobs}.  A malformed or out-of-range [HSP_JOBS] raises
+    [Invalid_argument] on first use rather than silently running
+    serial.
+
+    {b Adversarial scheduler.}  [HSP_SCHED=shuffle] (or
+    {!set_sched}[ Shuffle]) executes each region's chunks in a
+    seeded-permuted order — everything keyed by chunk {e index}
+    (output ranges, {!map_chunks} slots, merge trees) is untouched, so
+    under the contract above the results are still bit-for-bit
+    identical, and any hidden dependence on execution order trips the
+    digest gates.  The permutation is seeded by a per-region counter,
+    never by wall-clock state, so a failing order is reproducible. *)
 
 val max_jobs : int
 
 val jobs : unit -> int
 (** The session-wide job count: {!set_jobs} if called, else [HSP_JOBS],
-    else 1. *)
+    else 1.
+    @raise Invalid_argument on a malformed or out-of-range [HSP_JOBS]
+    (not an integer, or outside [1 .. max_jobs]). *)
 
 val set_jobs : int -> unit
 (** @raise Invalid_argument outside [1 .. max_jobs]. *)
+
+val parse_jobs : string -> int
+(** Validate an [HSP_JOBS]-style value ({!jobs} applies it to the
+    environment variable).
+    @raise Invalid_argument unless the trimmed string is an integer in
+    [1 .. max_jobs]. *)
+
+type sched = Fifo | Shuffle  (** chunk execution order within a region *)
+
+val sched : unit -> sched
+(** The session-wide scheduler: {!set_sched} if called, else
+    [HSP_SCHED] ([fifo] | [shuffle]), else [Fifo].
+    @raise Invalid_argument on an unknown [HSP_SCHED] value. *)
+
+val set_sched : sched -> unit
+
+val parse_sched : string -> sched
+(** Validate an [HSP_SCHED]-style value (case-insensitive).
+    @raise Invalid_argument unless it is [fifo] or [shuffle]. *)
 
 val parallel_for : ?chunks:int -> int -> int -> (int -> int -> unit) -> unit
 (** [parallel_for lo hi body] runs [body clo chi] over contiguous

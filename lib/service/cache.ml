@@ -60,9 +60,7 @@ let create ?(max_entries = 64) ?(max_bytes = 256 * 1024 * 1024) ~bytes_of () =
     lock = Mutex.create ();
   }
 
-let locked c f =
-  Mutex.lock c.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+let locked c f = Mutex.protect c.lock f
 
 (* --- recency list, lock held ------------------------------------- *)
 

@@ -28,9 +28,7 @@ let handle_frame server payload =
       (match env.Protocol.req with
       | Protocol.Shutdown ->
           (* wake the accept loop after the reply is on its way back *)
-          Mutex.lock server.slock;
-          server.accepting <- false;
-          Mutex.unlock server.slock;
+          Mutex.protect server.slock (fun () -> server.accepting <- false);
           (try Unix.shutdown server.listener Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
       | _ -> ());
       reply
@@ -73,19 +71,13 @@ let listen ~socket_path service =
 
 let accept_loop server =
   let rec loop () =
-    let accepting =
-      Mutex.lock server.slock;
-      let a = server.accepting in
-      Mutex.unlock server.slock;
-      a
-    in
+    let accepting = Mutex.protect server.slock (fun () -> server.accepting) in
     if accepting then begin
       match Unix.accept server.listener with
       | fd, _ ->
           let th = Thread.create (fun () -> connection_loop server fd) () in
-          Mutex.lock server.slock;
-          server.conn_threads <- th :: server.conn_threads;
-          Mutex.unlock server.slock;
+          Mutex.protect server.slock (fun () ->
+              server.conn_threads <- th :: server.conn_threads);
           loop ()
       | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ECONNABORTED), _, _) ->
           (* listener shut down by a shutdown request *)
@@ -95,11 +87,10 @@ let accept_loop server =
   in
   loop ();
   let threads =
-    Mutex.lock server.slock;
-    let ts = server.conn_threads in
-    server.conn_threads <- [];
-    Mutex.unlock server.slock;
-    ts
+    Mutex.protect server.slock (fun () ->
+        let ts = server.conn_threads in
+        server.conn_threads <- [];
+        ts)
   in
   List.iter Thread.join threads;
   Service.stop server.service;

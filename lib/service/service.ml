@@ -347,10 +347,9 @@ let exec_stats t ~id =
 (* ------------------------------------------------------------------ *)
 
 let finish job reply =
-  Mutex.lock job.jlock;
-  job.reply <- Some reply;
-  Condition.signal job.jcond;
-  Mutex.unlock job.jlock
+  Mutex.protect job.jlock (fun () ->
+      job.reply <- Some reply;
+      Condition.signal job.jcond)
 
 let exec_one t job =
   let id = job.env.Protocol.id in
@@ -432,17 +431,17 @@ let exec_batch t jobs =
 
 let executor_loop t =
   let rec loop () =
-    Mutex.lock t.qlock;
-    while Queue.is_empty t.queue && not t.stopping do
-      Condition.wait t.qcond t.qlock
-    done;
-    let drained = ref [] in
-    while not (Queue.is_empty t.queue) do
-      drained := Queue.pop t.queue :: !drained
-    done;
-    let stop_after = t.stopping in
-    Mutex.unlock t.qlock;
-    let jobs = List.rev !drained in
+    let jobs, stop_after =
+      Mutex.protect t.qlock (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.qcond t.qlock
+          done;
+          let drained = ref [] in
+          while not (Queue.is_empty t.queue) do
+            drained := Queue.pop t.queue :: !drained
+          done;
+          (List.rev !drained, t.stopping))
+    in
     t.served <- t.served + List.length jobs;
     exec_batch t jobs;
     if not stop_after then loop ()
@@ -455,36 +454,31 @@ let start t =
   | None -> t.executor <- Some (Thread.create executor_loop t)
 
 let stop t =
-  Mutex.lock t.qlock;
-  t.stopping <- true;
-  Condition.broadcast t.qcond;
-  Mutex.unlock t.qlock;
+  Mutex.protect t.qlock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.qcond);
   (match t.executor with Some th -> Thread.join th | None -> ());
   t.executor <- None
 
 let submit t env =
   let job = { env; jlock = Mutex.create (); jcond = Condition.create (); reply = None } in
-  Mutex.lock t.qlock;
-  if t.stopping then begin
-    Mutex.unlock t.qlock;
+  let enqueued =
+    Mutex.protect t.qlock (fun () ->
+        if t.stopping then false
+        else begin
+          Queue.push job t.queue;
+          Condition.signal t.qcond;
+          true
+        end)
+  in
+  if not enqueued then
     Protocol.error_response ~id:env.Protocol.id Protocol.Rejected "service is shutting down"
-  end
-  else begin
-    Queue.push job t.queue;
-    Condition.signal t.qcond;
-    Mutex.unlock t.qlock;
-    Mutex.lock job.jlock;
-    while job.reply = None do
-      Condition.wait job.jcond job.jlock
-    done;
-    Mutex.unlock job.jlock;
-    Option.get job.reply
-  end
+  else
+    Mutex.protect job.jlock (fun () ->
+        while job.reply = None do
+          Condition.wait job.jcond job.jlock
+        done;
+        Option.get job.reply)
 
 let cache_stats t = Cache.stats t.cache
-
-let pending t =
-  Mutex.lock t.qlock;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.qlock;
-  n
+let pending t = Mutex.protect t.qlock (fun () -> Queue.length t.queue)

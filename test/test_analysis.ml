@@ -342,6 +342,144 @@ let test_lint_rule_names_roundtrip () =
       Lint.Obj_magic; Lint.Print_stdout;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Race_check: inline-snippet unit tests                              *)
+(* ------------------------------------------------------------------ *)
+
+let rc_all =
+  {
+    Race_check.check_parallel = true;
+    check_globals = true;
+    check_locks = true;
+    check_blocking = true;
+  }
+
+let rc_lib = { rc_all with Race_check.check_globals = false; check_blocking = false }
+
+let rc_rules_of cfg src =
+  List.map (fun f -> f.Race_check.rule) (Race_check.lint_source cfg ~file:"snippet.ml" src)
+
+let test_rc_race_capture () =
+  checkb "captured ref" true
+    (List.mem Race_check.Race_capture
+       (rc_rules_of rc_lib
+          "let f n = let acc = ref 0 in Parallel.parallel_for 0 n (fun lo hi -> acc := !acc + hi - lo)"));
+  checkb "captured incr" true
+    (List.mem Race_check.Race_capture
+       (rc_rules_of rc_lib
+          "let f n = let hits = ref 0 in Parallel.parallel_for 0 n (fun _ _ -> incr hits)"));
+  checkb "captured mutable field" true
+    (List.mem Race_check.Race_capture
+       (rc_rules_of rc_lib
+          "let f t n = Parallel.parallel_for 0 n (fun _ hi -> t.total <- hi)"));
+  checkb "closure-local ref ok" true
+    (rc_rules_of rc_lib
+       "let f n = Parallel.parallel_for 0 n (fun lo hi -> let i = ref lo in while !i < hi do incr i done)"
+    = []);
+  checkb "let-bound record ok" true
+    (rc_rules_of rc_lib
+       "let f n = Parallel.parallel_for 0 n (fun lo _ -> let t = make () in t.total <- lo)"
+    = []);
+  checkb "array slot ok" true
+    (rc_rules_of rc_lib "let f out n = Parallel.parallel_for 0 n (fun lo _ -> out.(lo) <- lo)"
+    = []);
+  checkb "map_chunks checked" true
+    (List.mem Race_check.Race_capture
+       (rc_rules_of rc_lib
+          "let f n = let s = ref 0 in Parallel.map_chunks ~chunks:4 0 n (fun lo _ -> s := lo)"));
+  checkb "atomic ok" true
+    (rc_rules_of rc_lib
+       "let f a n = Parallel.parallel_for 0 n (fun _ _ -> Atomic.incr a)"
+    = [])
+
+let test_rc_jobs_dependent_chunks () =
+  checkb "Parallel.jobs in ~chunks" true
+    (List.mem Race_check.Jobs_dependent_chunks
+       (rc_rules_of rc_lib
+          "let f n body = Parallel.parallel_for ~chunks:(4 * Parallel.jobs ()) 0 n body"));
+  checkb "bare jobs in ~chunks" true
+    (List.mem Race_check.Jobs_dependent_chunks
+       (rc_rules_of rc_lib "let f n body = Parallel.map_chunks ~chunks:(jobs ()) 0 n body"));
+  checkb "HSP_JOBS getenv in ~chunks" true
+    (List.mem Race_check.Jobs_dependent_chunks
+       (rc_rules_of rc_lib
+          "let f n body = Parallel.parallel_for ~chunks:(int_of_string (Sys.getenv \"HSP_JOBS\")) 0 n body"));
+  checkb "workload-fixed chunks ok" true
+    (rc_rules_of rc_lib "let f n body = Parallel.parallel_for ~chunks:(n / 4096) 0 n body"
+    = []);
+  checkb "reduction_chunks ok" true
+    (rc_rules_of rc_lib
+       "let f n body = Parallel.map_chunks ~chunks:(Parallel.reduction_chunks ~slot_words:2 n) 0 n body"
+    = [])
+
+let test_rc_domain_unsafe_global () =
+  checkb "top-level ref" true
+    (List.mem Race_check.Domain_unsafe_global (rc_rules_of rc_all "let counter = ref 0"));
+  checkb "top-level hashtbl" true
+    (List.mem Race_check.Domain_unsafe_global
+       (rc_rules_of rc_all "let memo : (int, int) Hashtbl.t = Hashtbl.create 8"));
+  checkb "atomic ok" true (rc_rules_of rc_all "let counter = Atomic.make 0" = []);
+  checkb "lambda body ok" true
+    (rc_rules_of rc_all "let fresh () = let t = Hashtbl.create 8 in t" = []);
+  checkb "scoped off" true (rc_rules_of rc_lib "let counter = ref 0" = []);
+  checkb "allow comment" true
+    (rc_rules_of rc_all
+       "(* hsp-lint: allow domain-unsafe-global -- guarded by the_lock *)\nlet memo = Hashtbl.create 8"
+    = [])
+
+let test_rc_unbalanced_lock () =
+  checkb "bare lock/unlock" true
+    (List.mem Race_check.Unbalanced_lock
+       (rc_rules_of rc_all "let f m x = Mutex.lock m; x.n <- x.n + 1; Mutex.unlock m"));
+  checkb "lock without unlock" true
+    (List.mem Race_check.Unbalanced_lock (rc_rules_of rc_all "let f m = Mutex.lock m"));
+  checkb "Mutex.protect ok" true
+    (rc_rules_of rc_all "let f m x = Mutex.protect m (fun () -> x.n <- x.n + 1)" = []);
+  checkb "lock + Fun.protect ok" true
+    (rc_rules_of rc_all
+       "let f m g = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) g"
+    = [])
+
+let test_rc_blocking_under_lock () =
+  checkb "Unix.read under Mutex.protect" true
+    (List.mem Race_check.Blocking_under_lock
+       (rc_rules_of rc_all
+          "let f m fd buf = Mutex.protect m (fun () -> Unix.read fd buf 0 4)"));
+  checkb "sampler prep under locked" true
+    (List.mem Race_check.Blocking_under_lock
+       (rc_rules_of rc_all
+          "let f c oracle = locked c (fun () -> Coset_state.sampler_with_support oracle)"));
+  checkb "build outside lock ok" true
+    (rc_rules_of rc_all
+       "let f m fd buf = let n = Unix.read fd buf 0 4 in Mutex.protect m (fun () -> n)"
+    = []);
+  checkb "scoped off" true
+    (rc_rules_of rc_lib "let f m fd buf = Mutex.protect m (fun () -> Unix.read fd buf 0 4)"
+    = [])
+
+let test_rc_config_for_path () =
+  let c = Race_check.config_for_path "lib/quantum/parallel.ml" in
+  checkb "quantum: globals on" true c.Race_check.check_globals;
+  checkb "quantum: blocking off" false c.Race_check.check_blocking;
+  let c = Race_check.config_for_path "lib/service/cache.ml" in
+  checkb "service: globals on" true c.Race_check.check_globals;
+  checkb "service: blocking on" true c.Race_check.check_blocking;
+  let c = Race_check.config_for_path "lib/group/perm.ml" in
+  checkb "group: globals off" false c.Race_check.check_globals;
+  checkb "group: locks on" true c.Race_check.check_locks
+
+let test_rc_rule_names_roundtrip () =
+  List.iter
+    (fun r ->
+      match Race_check.rule_of_name (Race_check.rule_name r) with
+      | Some r' -> checkb "roundtrip" true (r = r')
+      | None -> Alcotest.failf "rule name %s does not parse" (Race_check.rule_name r))
+    [
+      Race_check.Race_capture; Race_check.Jobs_dependent_chunks;
+      Race_check.Domain_unsafe_global; Race_check.Unbalanced_lock;
+      Race_check.Blocking_under_lock;
+    ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -388,5 +526,15 @@ let () =
           Alcotest.test_case "finding location" `Quick test_lint_finding_location;
           Alcotest.test_case "config for path" `Quick test_lint_config_for_path;
           Alcotest.test_case "rule names roundtrip" `Quick test_lint_rule_names_roundtrip;
+        ] );
+      ( "race_check",
+        [
+          Alcotest.test_case "race-capture" `Quick test_rc_race_capture;
+          Alcotest.test_case "jobs-dependent-chunks" `Quick test_rc_jobs_dependent_chunks;
+          Alcotest.test_case "domain-unsafe-global" `Quick test_rc_domain_unsafe_global;
+          Alcotest.test_case "unbalanced-lock" `Quick test_rc_unbalanced_lock;
+          Alcotest.test_case "blocking-under-lock" `Quick test_rc_blocking_under_lock;
+          Alcotest.test_case "config for path" `Quick test_rc_config_for_path;
+          Alcotest.test_case "rule names roundtrip" `Quick test_rc_rule_names_roundtrip;
         ] );
     ]

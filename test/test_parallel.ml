@@ -65,6 +65,76 @@ let test_set_jobs_validation () =
     (Invalid_argument "Parallel.set_jobs: expected 1..64, got 65") (fun () ->
       Parallel.set_jobs 65)
 
+let with_sched s f =
+  Parallel.set_sched s;
+  Fun.protect ~finally:(fun () -> Parallel.set_sched Parallel.Fifo) f
+
+let raises_invalid f = match f () with _ -> false | exception Invalid_argument _ -> true
+
+let test_parse_jobs_validation () =
+  checki "plain" 4 (Parallel.parse_jobs "4");
+  checki "trimmed" 2 (Parallel.parse_jobs " 2 ");
+  checki "max accepted" Parallel.max_jobs (Parallel.parse_jobs (string_of_int Parallel.max_jobs));
+  List.iter
+    (fun s ->
+      checkb (Printf.sprintf "rejects %S" s) true
+        (raises_invalid (fun () -> Parallel.parse_jobs s)))
+    [ ""; "0"; "-3"; "65"; "two"; "4.0"; "2x" ]
+
+let test_parse_sched_validation () =
+  checkb "fifo" true (match Parallel.parse_sched "fifo" with Parallel.Fifo -> true | _ -> false);
+  checkb "shuffle, any case, trimmed" true
+    (match Parallel.parse_sched " ShUfFlE " with Parallel.Shuffle -> true | _ -> false);
+  List.iter
+    (fun s ->
+      checkb (Printf.sprintf "rejects %S" s) true
+        (raises_invalid (fun () -> Parallel.parse_sched s)))
+    [ ""; "random"; "lifo"; "1" ]
+
+(* The adversarial scheduler permutes chunk execution order only:
+   coverage, per-chunk slots and results must be indistinguishable from
+   Fifo at every job count. *)
+let test_shuffle_covers_and_orders () =
+  with_sched Parallel.Shuffle (fun () ->
+      List.iter
+        (fun j ->
+          with_jobs j (fun () ->
+              let n = 1000 in
+              let seen = Array.make n 0 in
+              Parallel.parallel_for ~chunks:16 0 n (fun lo hi ->
+                  for i = lo to hi - 1 do
+                    seen.(i) <- seen.(i) + 1
+                  done);
+              Array.iteri
+                (fun i c -> checki (Printf.sprintf "shuffle jobs=%d index %d" j i) 1 c)
+                seen;
+              let bounds = Parallel.map_chunks ~chunks:7 0 100 (fun lo _ -> lo) in
+              let sorted = Array.copy bounds in
+              Array.sort Int.compare sorted;
+              checkb
+                (Printf.sprintf "shuffle jobs=%d map_chunks in chunk order" j)
+                true (bounds = sorted)))
+        [ 1; 2; 4 ])
+
+let test_shuffle_sort_perm () =
+  let n = 10_000 in
+  let rng = Random.State.make [| n; 0x50e7 |] in
+  let keys = Array.init n (fun _ -> Random.State.int rng 50) in
+  let cmp a b =
+    let c = Int.compare keys.(a) keys.(b) in
+    if c <> 0 then c else Int.compare a b
+  in
+  let base = Parallel.sort_perm ~cmp n in
+  with_sched Parallel.Shuffle (fun () ->
+      List.iter
+        (fun j ->
+          with_jobs j (fun () ->
+              checkb
+                (Printf.sprintf "shuffle jobs=%d sort_perm identical" j)
+                true
+                (Array.for_all2 Int.equal base (Parallel.sort_perm ~cmp n))))
+        [ 1; 2; 4 ])
+
 let test_reduction_chunks_geometry () =
   (* depends only on (slot_words, total): never on the job count *)
   let baseline = Parallel.reduction_chunks ~slot_words:1 100_000 in
@@ -240,6 +310,16 @@ let qcheck_props =
       (fun seed ->
         let c = circuit_of_seed seed in
         State.approx_equal ~eps:1e-9 (run_dense ~jobs:4 c) (run_sparse ~jobs:4 c));
+    Test.make ~count:40 ~name:"dense shuffle jobs=4 bit-identical to fifo jobs=1"
+      (int_bound 100000) (fun seed ->
+        let c = circuit_of_seed seed in
+        let base = run_dense ~jobs:1 c in
+        with_sched Parallel.Shuffle (fun () -> identical base (run_dense ~jobs:4 c)));
+    Test.make ~count:40 ~name:"sparse shuffle jobs=4 bit-identical to fifo jobs=1"
+      (int_bound 100000) (fun seed ->
+        let c = circuit_of_seed seed in
+        let base = run_sparse ~jobs:1 c in
+        with_sched Parallel.Shuffle (fun () -> identical base (run_sparse ~jobs:4 c)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -338,6 +418,10 @@ let () =
           Alcotest.test_case "map_chunks in chunk order" `Quick test_map_chunks_order;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
           Alcotest.test_case "set_jobs validation" `Quick test_set_jobs_validation;
+          Alcotest.test_case "parse_jobs validation" `Quick test_parse_jobs_validation;
+          Alcotest.test_case "parse_sched validation" `Quick test_parse_sched_validation;
+          Alcotest.test_case "shuffle covers and orders" `Quick test_shuffle_covers_and_orders;
+          Alcotest.test_case "shuffle sort_perm identical" `Quick test_shuffle_sort_perm;
           Alcotest.test_case "reduction chunk geometry" `Quick test_reduction_chunks_geometry;
           Alcotest.test_case "sort_perm deterministic" `Quick test_sort_perm;
         ] );

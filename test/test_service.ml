@@ -365,6 +365,102 @@ let test_batched_vs_sequential_distribution () =
     Alcotest.failf "chi2 %.1f over %d cells exceeds %.1f" stat cells threshold
 
 (* ------------------------------------------------------------------ *)
+(* Stress: 8 threads under the adversarial scheduler                   *)
+(* ------------------------------------------------------------------ *)
+
+(* HSP_SCHED=shuffle permutes chunk execution inside every parallel
+   region while the request threads race the executor and the cache —
+   the combination the concurrency-safety rules (Analysis.Race_check)
+   exist to protect.  The exact-sum ledger assertion is the sharp one:
+   a single double-count or lost tick anywhere breaks it. *)
+
+let with_shuffle f =
+  Parallel.set_sched Parallel.Shuffle;
+  Fun.protect ~finally:(fun () -> Parallel.set_sched Parallel.Fifo) f
+
+let stress_instances =
+  [| ([| 8; 8 |], [| 4; 2 |]); ([| 16 |], [| 4 |]); ([| 4; 4 |], [| 2; 2 |]) |]
+
+let service_stress_prop seed =
+  with_shuffle @@ fun () ->
+  setup ();
+  let t = Service.create ~seed:(seed + 1) () in
+  Service.start t;
+  let n_threads = 8 and per_thread = 6 and count = 4 in
+  let replies = Array.make_matrix n_threads per_thread Jsonv.Null in
+  let threads =
+    List.init n_threads (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Random.State.make [| seed; i; 0x57e5 |] in
+            for k = 0 to per_thread - 1 do
+              let dims, moduli =
+                stress_instances.(Random.State.int rng (Array.length stress_instances))
+              in
+              replies.(i).(k) <-
+                Service.submit t
+                  (sample_req ~seed:(Random.State.int rng 1000) ~count dims moduli None)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Service.stop t;
+  let global = Metrics.snapshot () in
+  let sum_meas = ref 0 and sum_queries = ref 0 and all_ok = ref true in
+  Array.iter
+    (Array.iter (fun r ->
+         if not (reply_ok r) then all_ok := false;
+         sum_meas :=
+           !sum_meas + Option.value ~default:0 (reply_int [ "metrics"; "measurements" ] r);
+         sum_queries :=
+           !sum_queries + Option.value ~default:0 (reply_int [ "quantum_queries" ] r)))
+    replies;
+  !all_ok
+  && !sum_queries = n_threads * per_thread * count
+  (* per-request ledger deltas partition the global ledger: they must
+     sum to it exactly, not approximately *)
+  && !sum_meas = global.Metrics.measurements
+  (* the artifact cache held: preps = distinct oracles, not requests *)
+  && global.Metrics.sampler_preps <= Array.length stress_instances
+  && global.Metrics.sampler_preps >= 1
+
+let cache_stress_prop seed =
+  with_shuffle @@ fun () ->
+  let max_entries = 8 and max_bytes = 64 in
+  let c = Cache.create ~max_entries ~max_bytes ~bytes_of:String.length () in
+  let budget_violations = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Random.State.make [| seed; i; 0xcace |] in
+            for _ = 1 to 200 do
+              let key = Random.State.int rng 32 in
+              let len = 1 + Random.State.int rng 16 in
+              ignore (Cache.find_or_add c key (fun () -> String.make len 'x'));
+              let s = Cache.stats c in
+              if s.Cache.entries > max_entries || s.Cache.bytes > max_bytes then
+                Atomic.incr budget_violations
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let s = Cache.stats c in
+  Atomic.get budget_violations = 0
+  && s.Cache.entries <= max_entries
+  && s.Cache.bytes <= max_bytes
+  && s.Cache.hits + s.Cache.misses >= 8 * 200
+
+let stress_props =
+  let open QCheck in
+  [
+    Test.make ~count:3 ~name:"8-thread executor under shuffle: ledger deltas sum exactly"
+      (int_bound 1000) service_stress_prop;
+    Test.make ~count:3 ~name:"8-thread cache under shuffle: LRU budgets never exceeded"
+      (int_bound 1000) cache_stress_prop;
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Wire protocol: parsing, framing, socket error containment           *)
 (* ------------------------------------------------------------------ *)
 
@@ -476,6 +572,7 @@ let () =
           Alcotest.test_case "batched = sequential distribution" `Slow
             test_batched_vs_sequential_distribution;
         ] );
+      ("stress", List.map QCheck_alcotest.to_alcotest stress_props);
       ( "wire",
         [
           Alcotest.test_case "request parsing" `Quick test_protocol_parsing;
