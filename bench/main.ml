@@ -1352,6 +1352,143 @@ let e14 () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E15: circuit compiler + fused kernels.  Each workload is a qubit   *)
+(* circuit run through [Circuit.run] under every combination of       *)
+(* HSP_FUSE (plan vs gate-by-gate), job count and scheduler; digests  *)
+(* over the measured outcomes must agree bit-for-bit across ALL rows, *)
+(* ledger counters across rows of the same fuse mode, and the fused   *)
+(* single-thread run must beat the unfused one >= 5x.  Every compiled *)
+(* plan is verified symbolically by Circuit_check.check_plan first.   *)
+(* The sec column times circuit execution only; measurement (common   *)
+(* to both paths) happens outside the timer but inside the digest.    *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header
+    "E15: circuit compiler + fused kernels — fused single-thread >= 5x, digests identical across HSP_FUSE / jobs / sched"
+    [ fmt_s "workload"; fmt_s "gates"; fmt_s "fuse"; fmt_s "jobs"; fmt_s "sched";
+      fmt_s "digest"; fmt_s "ok"; fmt_s "speedup"; fmt_s "sec" ];
+  (* gate_fibres / fused_* describe backend work and legitimately
+     differ ACROSS fuse modes; within one mode every row must agree. *)
+  let counters (m : Quantum.Metrics.snapshot) =
+    [ m.Quantum.Metrics.gate_apps; m.Quantum.Metrics.gate_fibres;
+      m.Quantum.Metrics.plans_compiled; m.Quantum.Metrics.fused_passes;
+      m.Quantum.Metrics.fused_gates; m.Quantum.Metrics.measurements;
+      m.Quantum.Metrics.states_created ]
+  in
+  let sched_name = function
+    | Quantum.Parallel.Fifo -> "fifo"
+    | Quantum.Parallel.Shuffle -> "shuf"
+  in
+  let variants =
+    [ (false, 1, Quantum.Parallel.Fifo); (false, 2, Quantum.Parallel.Fifo);
+      (false, 4, Quantum.Parallel.Fifo); (false, 4, Quantum.Parallel.Shuffle);
+      (true, 1, Quantum.Parallel.Fifo); (true, 2, Quantum.Parallel.Fifo);
+      (true, 4, Quantum.Parallel.Fifo); (true, 4, Quantum.Parallel.Shuffle) ]
+  in
+  let run_workload name c measures =
+    let plan = Quantum.Circuit.compile c in
+    (match Analysis.Circuit_check.check_plan c plan with
+    | Ok () -> ()
+    | Error vs ->
+        incr claim_violations;
+        Printf.printf "claim violation: E15 %s plan fails symbolic verification: %s\n" name
+          (String.concat "; "
+             (List.map
+                (fun v -> Format.asprintf "%a" Analysis.Circuit_check.pp_plan_violation v)
+                vs)));
+    Printf.printf "%s plan: %d gates -> %d steps, %d bytes\n" name
+      (Quantum.Circuit_plan.gate_count plan)
+      (Quantum.Circuit_plan.step_count plan)
+      (Quantum.Circuit_plan.bytes plan);
+    let n = Quantum.Circuit.num_qubits c in
+    let x0 = Array.init n (fun i -> i land 1) in
+    let run rng =
+      let st0 =
+        Quantum.State.of_basis ~backend:Quantum.Backend.Dense (Array.make n 2) x0
+      in
+      let stc, sec = time_it (fun () -> Quantum.Circuit.run c st0) in
+      let st = ref stc in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun wires ->
+          let outcome, post = Quantum.State.measure rng !st ~wires in
+          st := post;
+          Array.iter
+            (fun v ->
+              Buffer.add_string buf (string_of_int v);
+              Buffer.add_char buf ',')
+            outcome)
+        measures;
+      (Digest.string (Buffer.contents buf), sec)
+    in
+    let results =
+      List.map
+        (fun (fuse, jobs, sched) ->
+          Quantum.Circuit_plan.set_fuse fuse;
+          Quantum.Parallel.set_jobs jobs;
+          Quantum.Parallel.set_sched sched;
+          Quantum.Metrics.reset ();
+          let digest, sec = run (Random.State.make [| 0xe15 |]) in
+          ((fuse, jobs, sched), digest, counters (Quantum.Metrics.snapshot ()), sec))
+        variants
+    in
+    Quantum.Circuit_plan.set_fuse false;
+    Quantum.Parallel.set_jobs 1;
+    Quantum.Parallel.set_sched Quantum.Parallel.Fifo;
+    let find fuse jobs sched =
+      List.find
+        (fun ((f, j, s), _, _, _) ->
+          Bool.equal f fuse && Int.equal j jobs && s == sched)
+        results
+    in
+    let _, base_digest, _, base_sec = find false 1 Quantum.Parallel.Fifo in
+    let _, _, _, fused_sec = find true 1 Quantum.Parallel.Fifo in
+    List.iter
+      (fun ((fuse, jobs, sched), digest, cs, sec) ->
+        let _, _, mode_base, _ = find fuse 1 Quantum.Parallel.Fifo in
+        let ok =
+          String.equal digest base_digest && List.for_all2 Int.equal cs mode_base
+        in
+        if not ok then begin
+          incr claim_violations;
+          Printf.printf
+            "claim violation: E15 %s fuse=%b jobs=%d sched=%s diverges from the unfused jobs=1 run\n"
+            name fuse jobs (sched_name sched)
+        end;
+        row
+          [ fmt_s name; fmt_i (Quantum.Circuit.gate_count c);
+            fmt_s (if fuse then "1" else "0"); fmt_i jobs; fmt_s (sched_name sched);
+            fmt_s (String.sub (Digest.to_hex digest) 0 8); fmt_s (string_of_bool ok);
+            fmt_f (base_sec /. Float.max 1e-9 sec); fmt_f sec ])
+      results;
+    let speedup = base_sec /. Float.max 1e-9 fused_sec in
+    row
+      [ fmt_s name; fmt_i (Quantum.Circuit.gate_count c); fmt_s "1x-vs-0x"; fmt_i 1;
+        fmt_s "fifo"; fmt_s "-"; fmt_s (string_of_bool (speedup >= 5.0));
+        fmt_f speedup; fmt_f fused_sec ];
+    if speedup < 5.0 then begin
+      incr claim_violations;
+      Printf.printf
+        "claim violation: E15 %s fused single-thread speedup %.2fx < 5x over the gate-by-gate path\n"
+        name speedup
+    end
+  in
+  (* the E11 kernels workload as a circuit: 4^10 = 2^20 amplitudes,
+     one dft4 per quaternary wire, i.e. a dense 2-qubit gate per pair *)
+  let dft4_circuit =
+    let c = ref (Quantum.Circuit.empty 20) in
+    for i = 0 to 9 do
+      c := Quantum.Circuit.gate !c (Linalg.Cmat.dft 4) [ 2 * i; (2 * i) + 1 ]
+    done;
+    !c
+  in
+  run_workload "4^10-circ" dft4_circuit [ [ 0; 3; 7 ]; [ 1; 2 ]; [ 4; 5; 6 ] ];
+  (* the QFT ladder: where Diag / Perm fusion (not just the 2q kernel)
+     carries the speedup *)
+  run_workload "qft-16" (Quantum.Circuit.qft 16) [ [ 0; 3; 7 ]; [ 1; 2 ]; [ 4; 5; 6 ] ]
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: one small instance per theorem — the CI gate.  Fast, runs   *)
 (* through Runner so each row carries the ok verdict and the ledger;  *)
 (* CI fails the build if any ok cell is false.                        *)
@@ -1538,7 +1675,7 @@ let micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14) ] in
+  let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15) ] in
   Printf.printf "HSP benchmark harness — reproduces EXPERIMENTS.md (seed fixed)\n";
   (match args with
   | [] ->

@@ -40,7 +40,10 @@ let config_for_path path =
     check_poly =
       List.exists
         (fun d -> contains ~sub:d path)
-        [ "lib/group"; "lib/core"; "lib/quantum"; "lib/linalg" ];
+        [
+          "lib/group"; "lib/core"; "lib/quantum"; "lib/linalg"; "lib/analysis";
+          "lib/service";
+        ];
     allow_print =
       List.exists
         (fun d -> contains ~sub:d path)
@@ -90,7 +93,7 @@ let allow_suppressed tbl ~line ~rule =
   let matches l =
     match Hashtbl.find_opt tbl l with
     | None -> false
-    | Some rules -> List.mem "all" rules || List.mem rule rules
+    | Some rules -> List.exists (String.equal "all") rules || List.exists (String.equal rule) rules
   in
   matches line || matches (line - 1)
 
@@ -116,7 +119,7 @@ let print_detail txt =
 let is_print txt =
   match (txt : Longident.t) with
   | Lident s | Ldot (Lident "Stdlib", s) ->
-      List.mem s
+      List.exists (String.equal s)
         [
           "print_string"; "print_endline"; "print_newline"; "print_int"; "print_char";
           "print_float"; "print_bytes";
@@ -138,7 +141,7 @@ let is_poly_compare txt =
 
 let is_eq_op txt =
   match (txt : Longident.t) with
-  | Lident s | Ldot (Lident "Stdlib", s) -> List.mem s eq_operators
+  | Lident s | Ldot (Lident "Stdlib", s) -> List.exists (String.equal s) eq_operators
   | _ -> false
 
 let is_obj_magic txt =
@@ -191,9 +194,9 @@ let apply_head (e : Parsetree.expression) =
          projections. *)
       match Longident.last txt with
       | last when is_symbolic last -> None
-      | last when List.mem last [ "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "mod"; "not" ] ->
+      | last when List.exists (String.equal last) [ "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "mod"; "not" ] ->
           None
-      | _ -> if List.mem name scalar_heads then None else Some name)
+      | _ -> if List.exists (String.equal name) scalar_heads then None else Some name)
   | _ -> None
 
 let structural_operands args =
@@ -223,7 +226,8 @@ let structural_operands args =
 let is_array_get (e : Parsetree.expression) =
   match e.Parsetree.pexp_desc with
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _ :: _) ->
-      List.mem (lident_to_string txt)
+      List.exists
+        (String.equal (lident_to_string txt))
         [ "Array.get"; "Array.unsafe_get"; "Stdlib.Array.get"; "Stdlib.Array.unsafe_get" ]
   | _ -> false
 

@@ -146,7 +146,7 @@ let mentions ?(const_pred = fun _ -> false) pred (e : Parsetree.expression) =
 let kernel_entry_names = [ "parallel_for"; "map_chunks"; "sort_perm"; "run_chunked" ]
 
 let is_kernel_entry name =
-  List.mem (last_component name) kernel_entry_names
+  List.exists (String.equal (last_component name)) kernel_entry_names
   &&
   let p = prefix_of name in
   p = "" || p = "Parallel" || ends_with ~suffix:".Parallel" p
@@ -174,7 +174,7 @@ let check_kernel_closure ~report closure =
   in
   let check_ref_write loc lhs =
     match lhs.Parsetree.pexp_desc with
-    | Pexp_ident { txt = Lident s; _ } when List.mem s !env -> ()
+    | Pexp_ident { txt = Lident s; _ } when List.exists (String.equal s) !env -> ()
     | Pexp_ident { txt; _ } ->
         report loc Race_capture
           (Printf.sprintf
@@ -199,7 +199,7 @@ let check_kernel_closure ~report closure =
         with_vars (pat_vars p) (fun () -> expr it body)
     | Pexp_setfield (obj, { txt = fld; loc }, v) ->
         (match base_of obj with
-        | Local s when List.mem s !env -> ()
+        | Local s when List.exists (String.equal s) !env -> ()
         | Local s ->
             report loc Race_capture
               (Printf.sprintf
@@ -278,13 +278,13 @@ let blocking_unix =
   ]
 
 let is_blocking_head name =
-  List.mem name blocking_unix
+  List.exists (String.equal name) blocking_unix
   || (contains ~sub:"Coset_state." name
      &&
      let l = last_component name in
      String.length l >= 4 && (String.sub l 0 4 = "prep" || (String.length l >= 7 && String.sub l 0 7 = "sampler"))
      )
-  || List.mem (last_component name) [ "read_frame"; "write_frame" ]
+  || List.exists (String.equal (last_component name)) [ "read_frame"; "write_frame" ]
      && contains ~sub:"Protocol" name
 
 (* ------------------------------------------------------------------ *)
@@ -311,7 +311,7 @@ let scan_global_rhs ~report rhs =
     | Pexp_fun _ | Pexp_function _ -> ()  (* created at call time *)
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
         let name = canonical (lident_to_string txt) in
-        if List.mem name creation_heads then
+        if List.exists (String.equal name) creation_heads then
           report loc Domain_unsafe_global
             (Printf.sprintf
                "module-level mutable state built with %s (use Atomic.t, or guard it \
@@ -404,7 +404,10 @@ let lint_source config ~file src =
                     publish under it)"
                    head);
             (* lock wrappers: their function argument runs locked *)
-            if List.mem (last_component head) (List.map last_component lock_wrapper_heads)
+            if
+              List.exists
+                (String.equal (last_component head))
+                (List.map last_component lock_wrapper_heads)
                && (String.equal (last_component head) "locked"
                   || String.equal (last_component head) "with_lock"
                   || String.equal head "Mutex.protect"

@@ -191,6 +191,17 @@ let apply_wires t ~wires m =
 
 let apply_wire t ~wire m = apply_wires t ~wires:[ wire ] m
 
+(* Fused-plan execution (HSP_FUSE=1): one Bigarray staging pass, every
+   plan step in place, one copy back — per-gate plane allocation gone.
+   The planes of [t] are never written (immutability convention). *)
+let run_plan plan t =
+  if
+    Array.length t.dims <> Circuit_plan.(plan.num_qubits)
+    || Array.exists (fun d -> d <> 2) t.dims
+  then invalid_arg "State.run_plan: state is not a matching qubit register";
+  let re, im = Circuit_plan.run_planes plan ~re:t.re ~im:t.im in
+  { t with re; im }
+
 let apply_dft t ~wire ~inverse =
   let d = t.dims.(wire) in
   let total = Array.length t.re in

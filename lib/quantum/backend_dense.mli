@@ -17,5 +17,13 @@ val of_indices : int array -> int array -> t
     index array. *)
 
 val apply_wire : t -> wire:int -> Linalg.Cmat.t -> t
+
+val run_plan : Circuit_plan.t -> t -> t
+(** Execute a fused circuit plan in place over Bigarray staging planes
+    (one copy in, one out; see {!Circuit_plan.run_planes}).  The input
+    state is untouched.
+    @raise Invalid_argument if the state is not a register of
+    [plan.num_qubits] qubits. *)
+
 val approx_equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -2,9 +2,18 @@ open Linalg
 
 type op = Gate of Cmat.t * int list
 
-type t = { num_qubits : int; ops : op list }
+(* Ops are kept latest-first so [gate]/[seq] are O(1)/O(|b|) instead of
+   the former O(n) list append per gate (O(n^2) to build a circuit);
+   [ops] reverses on demand. *)
+type t = { num_qubits : int; rev_ops : op list; count : int }
 
-let empty n = { num_qubits = n; ops = [] }
+let empty n = { num_qubits = n; rev_ops = []; count = 0 }
+let num_qubits t = t.num_qubits
+let ops t = List.rev t.rev_ops
+let gate_count t = t.count
+
+let of_ops num_qubits ops =
+  { num_qubits; rev_ops = List.rev ops; count = List.length ops }
 
 let gate t m wires =
   let arity = List.length wires in
@@ -18,28 +27,43 @@ let gate t m wires =
   let dim = 1 lsl arity in
   if Cmat.rows m <> dim || Cmat.cols m <> dim then
     invalid_arg "Circuit.gate: matrix dimension does not match wire count";
-  { t with ops = t.ops @ [ Gate (m, wires) ] }
+  { t with rev_ops = Gate (m, wires) :: t.rev_ops; count = t.count + 1 }
 
 let seq a b =
   if not (Int.equal a.num_qubits b.num_qubits) then invalid_arg "Circuit.seq: arity mismatch";
-  { a with ops = a.ops @ b.ops }
+  { a with rev_ops = b.rev_ops @ a.rev_ops; count = a.count + b.count }
+
+let gates t = List.rev_map (fun (Gate (m, wires)) -> (m, wires)) t.rev_ops
+
+let compile t = Circuit_plan.compile ~num_qubits:t.num_qubits (gates t)
+let fingerprint t = Circuit_plan.fingerprint ~num_qubits:t.num_qubits (gates t)
 
 let run t state =
   if State.num_wires state <> t.num_qubits || Array.exists (fun d -> d <> 2) (State.dims state)
   then invalid_arg "Circuit.run: state is not a matching qubit register";
-  List.fold_left (fun st (Gate (m, wires)) -> State.apply_wires st ~wires m) state t.ops
+  (* HSP_FUSE=1 routes dense states through the compiled plan; sparse
+     and symbolic states (and HSP_FUSE=0) keep the gate-by-gate path. *)
+  let fused =
+    if Circuit_plan.fuse () && State.backend state = Backend.Dense then
+      State.run_plan (compile t) state
+    else None
+  in
+  match fused with
+  | Some st -> st
+  | None ->
+      List.fold_left
+        (fun st (Gate (m, wires)) -> State.apply_wires st ~wires m)
+        state (ops t)
 
 let to_matrix t =
   let dim = 1 lsl t.num_qubits in
   let cols =
-    List.init dim (fun k ->
+    Array.init dim (fun k ->
         let x = State.decode (Array.make t.num_qubits 2) k in
         let st = run t (State.of_basis (Array.make t.num_qubits 2) x) in
         State.amplitudes st)
   in
-  Cmat.init dim dim (fun i j -> (List.nth cols j).(i))
-
-let gate_count t = List.length t.ops
+  Cmat.init dim dim (fun i j -> cols.(j).(i))
 
 let qft ?approx_threshold n =
   let keep k = match approx_threshold with None -> true | Some t -> k <= t in
@@ -60,4 +84,4 @@ let qft ?approx_threshold n =
   !c
 
 let inverse t =
-  { t with ops = List.rev_map (fun (Gate (m, wires)) -> Gate (Cmat.adjoint m, wires)) t.ops }
+  { t with rev_ops = List.rev_map (fun (Gate (m, wires)) -> Gate (Cmat.adjoint m, wires)) t.rev_ops }

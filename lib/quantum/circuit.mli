@@ -5,15 +5,30 @@
     controlled-rotation / swap decomposition, optionally truncating
     small rotations (the *approximate* QFT the paper relies on via
     Kitaev's construction); tests check it against the dense DFT
-    matrix. *)
+    matrix.
+
+    Ops are stored latest-first internally so building a circuit is
+    linear in its length; {!ops} returns them in application order.
+    Under [HSP_FUSE=1], {!run} compiles the circuit into a fused
+    execution plan ({!Circuit_plan}) before touching a dense state. *)
 
 type op =
   | Gate of Linalg.Cmat.t * int list
       (** Unitary on the listed wires, most significant first. *)
 
-type t = { num_qubits : int; ops : op list }
+type t
 
 val empty : int -> t
+val num_qubits : t -> int
+
+val ops : t -> op list
+(** The gate sequence in application order. *)
+
+val of_ops : int -> op list -> t
+(** [of_ops n ops] wraps a raw op list {e without} the validation
+    {!gate} performs — for fixtures exercising [Analysis.Circuit_check]
+    on malformed circuits.  Regular construction goes through {!gate}. *)
+
 val gate : t -> Linalg.Cmat.t -> int list -> t
 (** Append a gate (applied after the existing ones).
     @raise Invalid_argument on an empty wire list, a wire outside
@@ -25,8 +40,18 @@ val seq : t -> t -> t
 (** [seq a b] runs [a] then [b]; both must have the same arity. *)
 
 val run : t -> State.t -> State.t
-(** @raise Invalid_argument if the state is not a register of
+(** Under [HSP_FUSE=1] a dense state runs through the compiled fused
+    plan; otherwise (and for sparse/symbolic states) gate by gate.
+    @raise Invalid_argument if the state is not a register of
     [num_qubits] qubits. *)
+
+val compile : t -> Circuit_plan.t
+(** The fused execution plan {!run} would use (regardless of the
+    [HSP_FUSE] setting). *)
+
+val fingerprint : t -> string
+(** Hex digest of the exact circuit structure (wires and IEEE bit
+    patterns of every matrix entry); keys the service's plan cache. *)
 
 val to_matrix : t -> Linalg.Cmat.t
 (** Dense unitary of the whole circuit (exponential; small circuits

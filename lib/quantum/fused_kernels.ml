@@ -1,0 +1,58 @@
+type planes = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The stubs are [@noalloc]: they never allocate on the OCaml heap or
+   call back, so the plain float/int table arguments cannot move under
+   them, and the Bigarray planes live off-heap by construction. *)
+
+external stub_apply1 : planes -> planes -> int -> int -> int -> float array -> unit
+  = "hsp_fused_apply1_bytecode" "hsp_fused_apply1_native"
+[@@noalloc]
+
+external stub_apply2 : planes -> planes -> int -> int -> int -> int -> float array -> unit
+  = "hsp_fused_apply2_bytecode" "hsp_fused_apply2_native"
+[@@noalloc]
+
+external stub_diag :
+  planes -> planes -> int -> int -> int array -> float array -> int array -> float array -> unit
+  = "hsp_fused_diag_bytecode" "hsp_fused_diag_native"
+[@@noalloc]
+
+let create len = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+
+let check_planes name ~re ~im =
+  let len = Bigarray.Array1.dim re in
+  if Bigarray.Array1.dim im <> len then invalid_arg (name ^ ": re/im length mismatch");
+  len
+
+let check_range name ~lo ~hi ~bound =
+  if lo < 0 || hi < lo || hi > bound then invalid_arg (name ^ ": bad index range")
+
+let check_bit name len bit =
+  if bit < 0 || 1 lsl bit >= len then invalid_arg (name ^ ": bit out of range")
+
+let apply1 ~re ~im ~lo ~hi ~bit ~m =
+  let len = check_planes "Fused_kernels.apply1" ~re ~im in
+  check_range "Fused_kernels.apply1" ~lo ~hi ~bound:(len / 2);
+  check_bit "Fused_kernels.apply1" len bit;
+  if Array.length m <> 8 then invalid_arg "Fused_kernels.apply1: gate table must be 8 floats";
+  stub_apply1 re im lo hi bit m
+
+let apply2 ~re ~im ~lo ~hi ~bit_a ~bit_b ~m =
+  let len = check_planes "Fused_kernels.apply2" ~re ~im in
+  check_range "Fused_kernels.apply2" ~lo ~hi ~bound:(len / 4);
+  check_bit "Fused_kernels.apply2" len bit_a;
+  check_bit "Fused_kernels.apply2" len bit_b;
+  if bit_a = bit_b then invalid_arg "Fused_kernels.apply2: duplicate bits";
+  if Array.length m <> 32 then invalid_arg "Fused_kernels.apply2: gate table must be 32 floats";
+  stub_apply2 re im lo hi bit_a bit_b m
+
+let diag ~re ~im ~lo ~hi ~shifts1 ~d1 ~shifts2 ~d2 =
+  let len = check_planes "Fused_kernels.diag" ~re ~im in
+  check_range "Fused_kernels.diag" ~lo ~hi ~bound:len;
+  Array.iter (check_bit "Fused_kernels.diag" len) shifts1;
+  Array.iter (check_bit "Fused_kernels.diag" len) shifts2;
+  if Array.length d1 <> 4 * Array.length shifts1 then
+    invalid_arg "Fused_kernels.diag: arity-1 table shape mismatch";
+  if Array.length shifts2 mod 2 <> 0 || Array.length d2 <> 4 * Array.length shifts2 then
+    invalid_arg "Fused_kernels.diag: arity-2 table shape mismatch";
+  stub_diag re im lo hi shifts1 d1 shifts2 d2

@@ -1,0 +1,52 @@
+(** C-stub wrappers for the circuit compiler's fused dense kernels.
+
+    The fused executor ({!Circuit_plan}) stages the amplitude planes in
+    float64 Bigarrays — off-heap, so the [@noalloc] stubs in
+    [fused_stubs.c] can run while other domains of the {!Parallel} pool
+    allocate freely — and calls these kernels on disjoint rest-index
+    ranges.  Every kernel mutates the planes in place but touches only
+    the fibres owned by its [\[lo, hi)] range, so chunked invocations
+    are write-disjoint and bit-for-bit independent of the chunk
+    geometry (the {!Parallel} determinism contract).
+
+    Wire positions are given as {e bit} positions: wire [w] of an
+    [n]-qubit register has bit [n - 1 - w] (big-endian, matching
+    [Backend.strides]).  The wrappers validate range and table shapes;
+    the stubs themselves do no bounds checking. *)
+
+type planes = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> planes
+(** Fresh zero-filled plane of the given length. *)
+
+val apply1 : re:planes -> im:planes -> lo:int -> hi:int -> bit:int -> m:float array -> unit
+(** In-place strided 2×2 complex apply on rest indices [\[lo, hi)] of
+    [\[0, len/2)].  [m] is the row-major gate as 8 floats
+    [re00; im00; re01; im01; re10; im10; re11; im11].
+    @raise Invalid_argument on a bad range, bit, or table shape. *)
+
+val apply2 :
+  re:planes -> im:planes -> lo:int -> hi:int -> bit_a:int -> bit_b:int -> m:float array -> unit
+(** In-place 4×4 complex apply on rest indices [\[lo, hi)] of
+    [\[0, len/4)].  [bit_a] is the bit of the gate's most-significant
+    wire, so gate index [s = 2*x_a + x_b]; [m] is the row-major 4×4
+    gate as 32 floats.
+    @raise Invalid_argument on a bad range, bits, or table shape. *)
+
+val diag :
+  re:planes ->
+  im:planes ->
+  lo:int ->
+  hi:int ->
+  shifts1:int array ->
+  d1:float array ->
+  shifts2:int array ->
+  d2:float array ->
+  unit
+(** One pointwise pass applying a whole run of commuting diagonal
+    gates: each amplitude in [\[lo, hi)] is multiplied by the product
+    of its factors' diagonal entries, in factor order.  Arity-1 factors
+    are [(shifts1.(f), d1.(4f .. 4f+3))] ([re0; im0; re1; im1]);
+    arity-2 factors are [(shifts2.(2f), shifts2.(2f+1))] (bits of the
+    MSB and LSB wire) with [d2.(8f .. 8f+7)] the four diagonal entries.
+    @raise Invalid_argument on a bad range or mismatched table shapes. *)

@@ -1,0 +1,171 @@
+/* Fused dense kernels for the circuit compiler (Circuit_plan).
+ *
+ * The amplitude planes arrive as float64 Bigarrays: the data lives
+ * outside the OCaml heap and never moves, so these stubs can run as
+ * [@noalloc] externals while the Parallel pool's other domains keep
+ * allocating.  Every kernel works in place on a caller-chosen range of
+ * *rest* (fibre) indices; fibres are disjoint, so chunked calls from
+ * parallel_for are write-disjoint and the result is independent of the
+ * chunk geometry — the same determinism contract the OCaml kernels in
+ * Backend_dense obey.
+ *
+ * Gate matrices and diagonal tables arrive as plain OCaml float/int
+ * arrays.  They are read with Double_field/Long_val (no allocation, no
+ * callbacks), which is safe under noalloc: this domain cannot trigger
+ * a collection mid-call, and stop-the-world phases wait for it.
+ *
+ * Index arithmetic: a register of n qubits has stride 2^(n-1-w) for
+ * wire w (big-endian, see Backend.strides).  A kernel on k wires walks
+ * rest indices r in [lo, hi) and expands each into the base index of
+ * its fibre by inserting zero bits at the wires' bit positions, lowest
+ * position first — shift/mask only, no div/mod.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+/* Insert a zero bit at position t: [r] ranges over indices with bit t
+ * removed. */
+static inline long insert_zero(long r, int t)
+{
+  long mask = ((long)1 << t) - 1;
+  return ((r >> t) << (t + 1)) | (r & mask);
+}
+
+/* ------------------------------------------------------------------ */
+/* 1-wire dense gate: in-place strided 2x2 complex apply.             */
+/* m = [| a_re; a_im; b_re; b_im; c_re; c_im; d_re; d_im |] row-major */
+/* ------------------------------------------------------------------ */
+
+CAMLprim value hsp_fused_apply1_native(value vre, value vim, value vlo,
+                                       value vhi, value vbit, value vm)
+{
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  int t = Int_val(vbit);
+  long s = (long)1 << t;
+  double ar = Double_field(vm, 0), ai = Double_field(vm, 1);
+  double br = Double_field(vm, 2), bi = Double_field(vm, 3);
+  double cr = Double_field(vm, 4), ci = Double_field(vm, 5);
+  double dr = Double_field(vm, 6), di = Double_field(vm, 7);
+  for (long r = lo; r < hi; r++) {
+    long i0 = insert_zero(r, t);
+    long i1 = i0 + s;
+    double x0r = re[i0], x0i = im[i0];
+    double x1r = re[i1], x1i = im[i1];
+    re[i0] = ar * x0r - ai * x0i + br * x1r - bi * x1i;
+    im[i0] = ar * x0i + ai * x0r + br * x1i + bi * x1r;
+    re[i1] = cr * x0r - ci * x0i + dr * x1r - di * x1i;
+    im[i1] = cr * x0i + ci * x0r + dr * x1i + di * x1r;
+  }
+  return Val_unit;
+}
+
+/* ------------------------------------------------------------------ */
+/* 2-wire dense gate: in-place 4x4 complex apply on each fibre.       */
+/* Gate index s = 2*x_hiwire + x_lowire where bitA is the bit of the  */
+/* gate's most-significant wire.  m = 32 doubles, row-major re/im.    */
+/* ------------------------------------------------------------------ */
+
+CAMLprim value hsp_fused_apply1_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return hsp_fused_apply1_native(argv[0], argv[1], argv[2], argv[3], argv[4],
+                                 argv[5]);
+}
+
+CAMLprim value hsp_fused_apply2_native(value vre, value vim, value vlo,
+                                       value vhi, value vbitA, value vbitB,
+                                       value vm)
+{
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  int tA = Int_val(vbitA), tB = Int_val(vbitB);
+  int tmin = tA < tB ? tA : tB, tmax = tA < tB ? tB : tA;
+  long sA = (long)1 << tA, sB = (long)1 << tB;
+  double m[32];
+  for (int k = 0; k < 32; k++) m[k] = Double_field(vm, k);
+  for (long r = lo; r < hi; r++) {
+    long base = insert_zero(insert_zero(r, tmin), tmax);
+    long idx[4] = { base, base + sB, base + sA, base + sA + sB };
+    double xr[4], xi[4];
+    for (int s = 0; s < 4; s++) { xr[s] = re[idx[s]]; xi[s] = im[idx[s]]; }
+    for (int i = 0; i < 4; i++) {
+      double yr = 0.0, yi = 0.0;
+      const double *row = m + 8 * i;
+      for (int j = 0; j < 4; j++) {
+        double mr = row[2 * j], mi = row[2 * j + 1];
+        yr += mr * xr[j] - mi * xi[j];
+        yi += mr * xi[j] + mi * xr[j];
+      }
+      re[idx[i]] = yr;
+      im[idx[i]] = yi;
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value hsp_fused_apply2_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return hsp_fused_apply2_native(argv[0], argv[1], argv[2], argv[3], argv[4],
+                                 argv[5], argv[6]);
+}
+
+/* ------------------------------------------------------------------ */
+/* Merged diagonal pass: one pointwise sweep applying a whole run of  */
+/* commuting diagonal gates.  Factors of arity 1 and 2 arrive as flat */
+/* tables:                                                            */
+/*   shifts1: n1 ints (bit of the wire)                               */
+/*   d1:      4*n1 doubles (re0 im0 re1 im1 per factor)               */
+/*   shifts2: 2*n2 ints (bitA bitB per factor, A = gate MSB wire)     */
+/*   d2:      8*n2 doubles (re00 im00 re01 im01 re10 im10 re11 im11)  */
+/* Each amplitude in [lo, hi) is multiplied by the product of its     */
+/* factors' diagonal entries, accumulated in factor order so the      */
+/* result is a fixed fp expression independent of chunking.           */
+/* ------------------------------------------------------------------ */
+
+CAMLprim value hsp_fused_diag_native(value vre, value vim, value vlo,
+                                     value vhi, value vshifts1, value vd1,
+                                     value vshifts2, value vd2)
+{
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  long n1 = Wosize_val(vshifts1);
+  long n2 = Wosize_val(vshifts2) / 2;
+  for (long idx = lo; idx < hi; idx++) {
+    double pr = 1.0, pi = 0.0;
+    for (long f = 0; f < n1; f++) {
+      long b = (idx >> Long_val(Field(vshifts1, f))) & 1;
+      double dr = Double_field(vd1, 4 * f + 2 * b);
+      double di = Double_field(vd1, 4 * f + 2 * b + 1);
+      double nr = pr * dr - pi * di;
+      pi = pr * di + pi * dr;
+      pr = nr;
+    }
+    for (long f = 0; f < n2; f++) {
+      long bA = (idx >> Long_val(Field(vshifts2, 2 * f))) & 1;
+      long bB = (idx >> Long_val(Field(vshifts2, 2 * f + 1))) & 1;
+      long s = 2 * bA + bB;
+      double dr = Double_field(vd2, 8 * f + 2 * s);
+      double di = Double_field(vd2, 8 * f + 2 * s + 1);
+      double nr = pr * dr - pi * di;
+      pi = pr * di + pi * dr;
+      pr = nr;
+    }
+    double xr = re[idx], xi = im[idx];
+    re[idx] = xr * pr - xi * pi;
+    im[idx] = xr * pi + xi * pr;
+  }
+  return Val_unit;
+}
+
+CAMLprim value hsp_fused_diag_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return hsp_fused_diag_native(argv[0], argv[1], argv[2], argv[3], argv[4],
+                               argv[5], argv[6], argv[7]);
+}

@@ -79,6 +79,15 @@ type snapshot = {
       (** symbolic states materialised into the sparse backend because
           an amplitude-level operation was requested (see
           [Backend.Caps.symbolic_materialise]) *)
+  plans_compiled : int;
+      (** fused execution plans built by [Circuit_plan.compile] *)
+  fused_passes : int;
+      (** full-plane kernel passes executed by the fused circuit path —
+          the unit of memory traffic the compiler minimises *)
+  fused_gates : int;
+      (** source gates executed through fused plans (each also ticks
+          [gate_apps] in the dispatcher, so dense runs of a circuit
+          report the same per-call counts fused or not) *)
   phases : (string * float) list;
       (** accumulated wall-clock seconds per phase, first-seen order *)
 }
@@ -130,6 +139,15 @@ val record_symbolic_solve : unit -> unit
 
 val record_symbolic_demotion : unit -> unit
 (** One symbolic state materialised into the sparse backend. *)
+
+val record_plan_compiled : unit -> unit
+(** One fused execution plan built by [Circuit_plan.compile]. *)
+
+val record_fused_pass : unit -> unit
+(** One full-plane kernel pass executed by the fused circuit path. *)
+
+val add_fused_gates : int -> unit
+(** Source gates covered by one fused plan execution. *)
 
 (** {2 Structured trace events} *)
 

@@ -268,7 +268,8 @@ let of_string s =
 (* ------------------------------------------------------------------ *)
 
 let member key = function
-  | Obj fields -> List.assoc_opt key fields
+  | Obj fields ->
+      List.find_map (fun (k, v) -> if String.equal k key then Some v else None) fields
   | _ -> None
 
 let to_int_opt = function Int n -> Some n | _ -> None

@@ -50,7 +50,7 @@ let test_accepts_phase_estimation_shape () =
 let non_unitary = Cmat.init 2 2 (fun _ _ -> Cx.one)
 
 let test_rejects_non_unitary () =
-  let c = { Quantum.Circuit.num_qubits = 1; ops = [ Quantum.Circuit.Gate (non_unitary, [ 0 ]) ] } in
+  let c = Quantum.Circuit.of_ops 1 [ Quantum.Circuit.Gate (non_unitary, [ 0 ]) ] in
   match Circuit_check.check c with
   | Ok _ -> Alcotest.fail "non-unitary gate accepted"
   | Error vs ->
@@ -67,34 +67,23 @@ let test_rejects_non_unitary () =
            vs)
 
 let test_rejects_duplicate_wires () =
-  let c =
-    { Quantum.Circuit.num_qubits = 2;
-      ops = [ Quantum.Circuit.Gate (Cmat.identity 4, [ 0; 0 ]) ] }
-  in
+  let c = Quantum.Circuit.of_ops 2 [ Quantum.Circuit.Gate (Cmat.identity 4, [ 0; 0 ]) ] in
   match Circuit_check.check c with
   | Ok _ -> Alcotest.fail "duplicate wires accepted"
   | Error vs -> checkb "flags gate 0" true (List.exists (fun v -> v.Circuit_check.gate = Some 0) vs)
 
 let test_rejects_out_of_range_wire () =
-  let c =
-    { Quantum.Circuit.num_qubits = 2;
-      ops = [ Quantum.Circuit.Gate (Cmat.identity 2, [ 5 ]) ] }
-  in
+  let c = Quantum.Circuit.of_ops 2 [ Quantum.Circuit.Gate (Cmat.identity 2, [ 5 ]) ] in
   checkb "rejected" true (Result.is_error (Circuit_check.check c))
 
 let test_rejects_dim_mismatch () =
-  let c =
-    { Quantum.Circuit.num_qubits = 2;
-      ops = [ Quantum.Circuit.Gate (Cmat.identity 2, [ 0; 1 ]) ] }
-  in
+  let c = Quantum.Circuit.of_ops 2 [ Quantum.Circuit.Gate (Cmat.identity 2, [ 0; 1 ]) ] in
   checkb "rejected" true (Result.is_error (Circuit_check.check c))
 
 let test_collects_all_violations () =
   let c =
-    { Quantum.Circuit.num_qubits = 1;
-      ops =
-        [ Quantum.Circuit.Gate (non_unitary, [ 0 ]);
-          Quantum.Circuit.Gate (Cmat.identity 2, [ 3 ]) ] }
+    Quantum.Circuit.of_ops 1
+      [ Quantum.Circuit.Gate (non_unitary, [ 0 ]); Quantum.Circuit.Gate (Cmat.identity 2, [ 3 ]) ]
   in
   match Circuit_check.check c with
   | Ok _ -> Alcotest.fail "accepted"
